@@ -1,0 +1,42 @@
+"""E2 — Figure 3(a): today's-deployment PDU counts over the timeline.
+
+Four series across the eight weekly snapshots (4/13–6/1): status quo,
+status quo compressed, minimal-no-maxLength, minimal-with-maxLength.
+The paper's qualitative content — ordering between the series at every
+week, and vulnerable-vs-secure labeling — is asserted; the rendered
+ASCII panel lands in ``results/figure3a.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compute_figure3a, render_panel
+
+from .conftest import write_result
+
+
+def test_bench_figure3a(benchmark, weekly_series):
+    panel = benchmark.pedantic(
+        compute_figure3a, args=(weekly_series,), rounds=1, iterations=1
+    )
+    by_name = {series.name: series for series in panel.series}
+
+    status_quo = by_name["Status quo"]
+    compressed = by_name["Status quo (compressed)"]
+    minimal = by_name["Minimal ROAs, no maxLength"]
+    minimal_ml = by_name["Minimal ROAs, with maxLength"]
+
+    for week in range(len(panel.labels)):
+        # compression always helps, minimality always costs (paper fig 3a)
+        assert compressed.values[week] < status_quo.values[week]
+        assert minimal_ml.values[week] < minimal.values[week]
+        assert status_quo.values[week] < minimal.values[week]
+        # compressed-minimal stays within a modest factor of status quo
+        assert minimal_ml.values[week] < 1.6 * status_quo.values[week]
+
+    # dashed (vulnerable) vs solid (secure), as in the figure legend
+    assert not status_quo.secure and not compressed.secure
+    assert minimal.secure and minimal_ml.secure
+
+    text = render_panel(panel)
+    write_result("figure3a.txt", text)
+    print("\n" + text)

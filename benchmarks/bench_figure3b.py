@@ -1,0 +1,41 @@
+"""E3 — Figure 3(b): full-deployment PDU counts over the timeline.
+
+Three series: minimal-no-maxLength (= every announced pair), minimal-
+with-maxLength (compress_roas output), and the maximally-permissive
+lower bound.  The paper's headline here is that the compressed series
+hugs the bound ("this result is consistent across all measurements");
+we assert that gap stays under half a percent of the table size at
+every week.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compute_figure3b, render_panel
+
+from .conftest import write_result
+
+
+def test_bench_figure3b(benchmark, weekly_series):
+    panel = benchmark.pedantic(
+        compute_figure3b, args=(weekly_series,), rounds=1, iterations=1
+    )
+    by_name = {series.name: series for series in panel.series}
+
+    plain = by_name["Minimal ROAs, no maxLength"]
+    compressed = by_name["Minimal ROAs, with maxLength"]
+    bound = by_name["Lower bound on # PDUs"]
+
+    for week in range(len(panel.labels)):
+        assert bound.values[week] <= compressed.values[week] < plain.values[week]
+        # compress_roas recovers almost all of the possible compression
+        gap = (compressed.values[week] - bound.values[week]) / plain.values[week]
+        assert gap <= 0.005  # paper: 730,008 vs 729,371 = 0.08%
+        # ... and the possible compression itself is small (~6%)
+        saving = 1 - compressed.values[week] / plain.values[week]
+        assert 0.03 <= saving <= 0.10
+
+    assert plain.secure and compressed.secure and not bound.secure
+
+    text = render_panel(panel)
+    write_result("figure3b.txt", text)
+    print("\n" + text)

@@ -1,0 +1,47 @@
+"""E7 — attack effectiveness: the quantified §4/§5 comparison.
+
+Samples (victim, attacker) stub pairs on a 1000-AS Gao–Rexford
+topology and measures the attacker's capture fraction under each
+attack/ROA combination.  The paper's claims, as assertions:
+
+* forged-origin subprefix vs a non-minimal ROA == plain subprefix
+  hijack == ~100% capture;
+* the same attack vs a minimal ROA: 0%;
+* the fallback same-prefix forged-origin attack: traffic splits, with
+  the majority staying on the legitimate route ([16]).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_hijack_study
+
+from .conftest import write_result
+
+
+def test_bench_hijack_study(benchmark, attack_topology):
+    result = benchmark.pedantic(
+        run_hijack_study,
+        args=(attack_topology,),
+        kwargs={"samples": 40, "seed": 2017},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert result.subprefix_no_rpki > 0.97
+    assert result.forged_subprefix_nonminimal > 0.97
+    assert result.forged_subprefix_minimal == 0.0
+    assert result.forged_origin_minimal < 0.5
+    assert result.forged_origin_minimal > 0.0
+
+    lines = [
+        f"Hijack study on {len(attack_topology)}-AS topology",
+        "",
+        *result.summary_lines(),
+        "",
+        "paper claims: subprefix variants capture ~everything; minimal "
+        "ROAs force the same-prefix attack, where the majority of "
+        "traffic stays on the legitimate route [16]",
+    ]
+    text = "\n".join(lines)
+    write_result("hijack.txt", text)
+    print("\n" + text)

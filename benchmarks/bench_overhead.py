@@ -1,0 +1,61 @@
+"""E6 — §7.2 computational overhead of compress_roas.
+
+The paper (Intel i7-6700, authors' tooling): today's RPKI compresses in
+2.4 s / 19 MB; the full-deployment table in 36 s / 290 MB.  Absolute
+numbers here differ (pure Python, different host); what must reproduce
+is feasibility — seconds-scale, modest memory — and roughly linear
+scaling between the two dataset sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import measure_compression_overhead
+from repro.core import compress_vrps
+from repro.rpki import Vrp
+
+from .conftest import write_result
+
+_RESULTS: dict[str, object] = {}
+
+
+def test_bench_compress_todays_rpki(benchmark, snapshot):
+    """Paper: 2.4 s / 19 MB on ~40k tuples."""
+    benchmark.pedantic(compress_vrps, args=(snapshot.vrps,), rounds=3, iterations=1)
+    measurement = measure_compression_overhead("today", snapshot.vrps)
+    _RESULTS["today"] = measurement
+    benchmark.extra_info["peak_mb"] = round(measurement.peak_memory_mb, 1)
+    assert measurement.wall_seconds < 60
+
+
+def test_bench_compress_full_deployment(benchmark, snapshot, scale):
+    """Paper: 36 s / 290 MB on ~777k tuples."""
+    pairs = snapshot.announced_set
+    full = [Vrp(p, p.length, asn) for p, asn in pairs]
+    benchmark.pedantic(compress_vrps, args=(full,), rounds=1, iterations=1)
+    measurement = measure_compression_overhead("full deployment", full)
+    _RESULTS["full"] = measurement
+    benchmark.extra_info["peak_mb"] = round(measurement.peak_memory_mb, 1)
+    assert measurement.wall_seconds < 600
+
+    today = _RESULTS.get("today")
+    lines = [f"compress_roas overhead @ scale {scale}", ""]
+    if today is not None:
+        lines.append(str(today))
+        ratio = measurement.wall_seconds / max(today.wall_seconds, 1e-9)
+        size_ratio = measurement.input_tuples / max(today.input_tuples, 1)
+        lines.append(str(measurement))
+        lines.append(
+            f"time ratio full/today: {ratio:.1f}x for {size_ratio:.1f}x "
+            f"the tuples (paper: 15x for 19x)"
+        )
+        # roughly linear scaling: the time ratio must not explode
+        # beyond the size ratio by more than ~3x.
+        assert ratio < size_ratio * 3
+    lines += [
+        "",
+        "paper (i7-6700, authors' tooling): today 2.4 s / 19 MB; "
+        "full deployment 36 s / 290 MB",
+    ]
+    text = "\n".join(lines)
+    write_result("overhead.txt", text)
+    print("\n" + text)

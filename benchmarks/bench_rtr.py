@@ -1,0 +1,59 @@
+"""E8 supplement — RTR protocol throughput.
+
+The PDU-count reductions of Table 1 matter because each PDU costs
+router work; this bench quantifies the per-PDU costs in our stack:
+wire encode/decode throughput and a full cache→router table transfer
+over a real localhost socket.
+"""
+
+from __future__ import annotations
+
+from repro.rtr import (
+    RtrCacheServer,
+    RtrClient,
+    decode_stream,
+    encode_pdu,
+    vrp_to_pdu,
+)
+
+from .conftest import write_result
+
+
+def test_bench_pdu_encode(benchmark, snapshot):
+    vrps = snapshot.vrps
+
+    def encode_all():
+        return [encode_pdu(vrp_to_pdu(vrp)) for vrp in vrps]
+
+    encoded = benchmark(encode_all)
+    assert len(encoded) == len(vrps)
+
+
+def test_bench_pdu_decode(benchmark, snapshot):
+    blob = b"".join(encode_pdu(vrp_to_pdu(vrp)) for vrp in snapshot.vrps)
+
+    def decode_all():
+        pdus, rest = decode_stream(blob)
+        assert not rest
+        return pdus
+
+    pdus = benchmark(decode_all)
+    assert len(pdus) == len(snapshot.vrps)
+
+
+def test_bench_full_table_transfer(benchmark, snapshot):
+    """One Reset Query round trip carrying the whole VRP table."""
+    vrps = snapshot.vrps
+
+    def transfer():
+        with RtrCacheServer(vrps) as server:
+            with RtrClient(server.host, server.port, timeout=60) as client:
+                client.sync()
+                return len(client.vrps)
+
+    count = benchmark.pedantic(transfer, rounds=3, iterations=1)
+    assert count == len(set(vrps))
+    write_result(
+        "rtr_transfer.txt",
+        f"full RTR table transfer: {count:,} VRPs per Reset Query round trip",
+    )

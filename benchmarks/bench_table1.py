@@ -1,0 +1,101 @@
+"""E1 — Table 1: PDU counts routers process under seven scenarios.
+
+Regenerates every row of the paper's Table 1 on the synthetic
+2017-06-01 snapshot and checks the qualitative content: row orderings,
+compression ratios, and the secure/vulnerable classification.  The
+rendered table (with paper values scaled for comparison) lands in
+``results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import PAPER_TABLE1, compute_table1
+from repro.analysis.table1 import (
+    FULL_LOWER_BOUND,
+    FULL_MINIMAL,
+    FULL_MINIMAL_COMPRESSED,
+    TODAY,
+    TODAY_COMPRESSED,
+    TODAY_MINIMAL,
+    TODAY_MINIMAL_COMPRESSED,
+)
+from repro.core import compress_vrps, to_minimal_vrps
+from repro.core.bounds import lower_bound_pdu_count
+from repro.rpki import Vrp
+
+from .conftest import write_result
+
+
+def test_bench_compress_status_quo(benchmark, snapshot):
+    """Row 2: compress_roas on today's tuples."""
+    result = benchmark.pedantic(
+        compress_vrps, args=(snapshot.vrps,), rounds=3, iterations=1
+    )
+    ratio = 1 - len(result) / len(snapshot.vrps)
+    benchmark.extra_info["compression"] = f"{100 * ratio:.1f}%"
+    assert 0.10 <= ratio <= 0.22  # paper: 15.9%
+
+
+def test_bench_minimal_conversion(benchmark, snapshot):
+    """Row 3: converting today's RPKI to minimal ROAs."""
+    result = benchmark.pedantic(
+        to_minimal_vrps, args=(snapshot.vrps, snapshot.announced),
+        rounds=3, iterations=1,
+    )
+    growth = len(result) / len(snapshot.vrps) - 1
+    benchmark.extra_info["pdu_increase"] = f"{100 * growth:.0f}%"
+    assert 0.1 <= growth <= 0.6  # paper: +32%
+
+
+def test_bench_full_deployment_compression(benchmark, snapshot):
+    """Row 6: compress_roas on the full-deployment minimal set."""
+    pairs = snapshot.announced_set
+    full = [Vrp(p, p.length, asn) for p, asn in pairs]
+    result = benchmark.pedantic(compress_vrps, args=(full,), rounds=1, iterations=1)
+    ratio = 1 - len(result) / len(full)
+    benchmark.extra_info["compression"] = f"{100 * ratio:.2f}%"
+    assert 0.03 <= ratio <= 0.10  # paper: 6.04%
+
+
+def test_bench_lower_bound(benchmark, snapshot):
+    """Row 7: the maximally-permissive bound."""
+    pairs = snapshot.announced_set
+    bound = benchmark.pedantic(
+        lower_bound_pdu_count, args=(pairs,), rounds=1, iterations=1
+    )
+    ratio = 1 - bound / len(pairs)
+    benchmark.extra_info["max_compression"] = f"{100 * ratio:.2f}%"
+    assert 0.03 <= ratio <= 0.10  # paper: 6.12%
+
+
+def test_bench_table1_all_rows(benchmark, snapshot, scale):
+    """The whole table, rendered against the paper's values."""
+    table = benchmark.pedantic(
+        compute_table1, args=(snapshot.vrps, snapshot.announced),
+        rounds=1, iterations=1,
+    )
+    n = {row.scenario: row.pdus for row in table.rows}
+
+    # The paper's qualitative claims, row by row.
+    assert n[TODAY_COMPRESSED] < n[TODAY] < n[TODAY_MINIMAL]
+    assert n[TODAY_MINIMAL_COMPRESSED] < n[TODAY_MINIMAL]
+    assert n[FULL_LOWER_BOUND] <= n[FULL_MINIMAL_COMPRESSED] < n[FULL_MINIMAL]
+    # "23% more tuples than the status quo" (paper): stays in the tens
+    # of percent, well under the full-deployment blowup.
+    assert n[TODAY_MINIMAL_COMPRESSED] < 1.6 * n[TODAY]
+
+    lines = [
+        f"Table 1 @ scale {scale} (paper values scaled alongside)",
+        "",
+        f"{'scenario':<55} {'measured':>10} {'paper*scale':>12}  secure?",
+        "-" * 90,
+    ]
+    for row in table.rows:
+        paper = round(PAPER_TABLE1[row.scenario] * scale)
+        lines.append(
+            f"{row.scenario:<55} {row.pdus:>10,} {paper:>12,}  "
+            f"{'yes' if row.secure else 'NO'}"
+        )
+    text = "\n".join(lines)
+    write_result("table1.txt", text)
+    print("\n" + text)

@@ -1,0 +1,32 @@
+"""E9 (extension) — vulnerability classification along the timeline.
+
+Runs the §6 maxLength/vulnerability classification on every weekly
+snapshot, producing the monitoring view a registry would watch: the
+vulnerable population grows in lockstep with RPKI adoption when the
+misconfiguration rate stays constant — the trend that motivated the
+paper's BCP push (§8, later RFC 9319).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compute_timeline
+
+from .conftest import write_result
+
+
+def test_bench_vulnerability_timeline(benchmark, weekly_series):
+    timeline = benchmark.pedantic(
+        compute_timeline, args=(weekly_series,), rounds=1, iterations=1
+    )
+    assert len(timeline.points) == 8
+
+    total = sum(point.total_vrps for point in timeline.points)
+    maxlength = sum(point.maxlength_vrps for point in timeline.points)
+    vulnerable = sum(point.vulnerable_vrps for point in timeline.points)
+    # aggregate §6 bands across the series
+    assert 0.06 <= maxlength / total <= 0.20
+    assert vulnerable / maxlength >= 0.70
+
+    text = "Vulnerability timeline (weekly snapshots)\n\n" + timeline.render()
+    write_result("timeline.txt", text)
+    print("\n" + text)

@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures.
+
+Dataset size is controlled by ``REPRO_BENCH_SCALE`` (default 0.2: a
+~155k-pair Internet, one fifth of the paper's 776,945). Paper-absolute
+counts scale linearly; every ratio is scale-free.  Set
+``REPRO_BENCH_SCALE=1.0`` to regenerate Table 1 at full size.
+
+Generation is session-scoped: the snapshot and weekly series are built
+once and shared by all benchmarks.  Each benchmark writes its rendered
+table/series into ``results/`` next to this file.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.data import (
+    GeneratorConfig,
+    SeriesConfig,
+    TopologyProfile,
+    generate_snapshot,
+    generate_topology,
+    generate_weekly_series,
+)
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+SERIES_SCALE = float(os.environ.get("REPRO_BENCH_SERIES_SCALE", "0.05"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered experiment output for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def snapshot():
+    """The 2017-06-01 dataset at benchmark scale."""
+    return generate_snapshot(GeneratorConfig(scale=BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def weekly_series():
+    """The eight Figure 3 snapshots (smaller scale: 8 full Internets)."""
+    return generate_weekly_series(
+        SeriesConfig(base=GeneratorConfig(scale=SERIES_SCALE))
+    )
+
+
+@pytest.fixture(scope="session")
+def attack_topology():
+    """A 1000-AS topology for the hijack-effectiveness study."""
+    return generate_topology(TopologyProfile(ases=1000), random.Random(42))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return BENCH_SCALE

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Attack-effectiveness study on a synthetic Internet (paper §4/§5).
+
+Builds a 1000-AS Gao–Rexford topology, samples victim/attacker pairs
+among the stubs, and measures the attacker's traffic capture under
+each attack variant and ROA configuration — the quantified version of
+the paper's argument that a forged-origin subprefix hijack against a
+non-minimal ROA "is as bad as a subprefix hijack", while a minimal ROA
+forces the far weaker same-prefix attack.
+
+Run:  python examples/hijack_study.py [--ases 1000] [--samples 30]
+"""
+
+import argparse
+import random
+
+from repro.analysis import run_hijack_study
+from repro.bgp import AttackKind, AttackScenario, VrpIndex, evaluate_attack
+from repro.data import TopologyProfile, generate_topology
+from repro.netbase import Prefix
+from repro.rpki import Vrp
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ases", type=int, default=1000)
+    parser.add_argument("--samples", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    print(f"generating a {args.ases}-AS topology...")
+    topology = generate_topology(
+        TopologyProfile(ases=args.ases), random.Random(args.seed)
+    )
+    print(f"  {topology.edge_count()} inter-AS links, "
+          f"{len(topology.stub_ases())} stubs, "
+          f"{len(topology.tier1_ases())} tier-1s")
+
+    # One narrated attack first.
+    victim_prefix = Prefix.parse("168.122.0.0/16")
+    attack_prefix = Prefix.parse("168.122.0.0/24")
+    rng = random.Random(args.seed)
+    victim, attacker = rng.sample(sorted(topology.stub_ases()), 2)
+    print(f"\nvictim AS{victim} announces {victim_prefix} under "
+          f"ROA ({victim_prefix}-24, AS {victim}) — NOT minimal")
+    loose = VrpIndex([Vrp(victim_prefix, 24, victim)])
+    scenario = AttackScenario(
+        AttackKind.FORGED_ORIGIN_SUBPREFIX, victim, attacker,
+        victim_prefix, attack_prefix,
+    )
+    outcome = evaluate_attack(topology, scenario, vrp_index=loose)
+    print(f"attacker AS{attacker} announces "
+          f"“{attack_prefix}: AS {attacker}, AS {victim}” ...")
+    print(f"  -> captures {100 * outcome.attacker_fraction:.1f}% of the "
+          f"traffic for {attack_prefix}")
+
+    minimal = VrpIndex([Vrp(victim_prefix, victim_prefix.length, victim)])
+    outcome_minimal = evaluate_attack(topology, scenario, vrp_index=minimal)
+    print(f"with a minimal ROA the same announcement is invalid -> "
+          f"captures {100 * outcome_minimal.attacker_fraction:.1f}%")
+
+    print(f"\naveraging over {args.samples} random (victim, attacker) pairs:")
+    study = run_hijack_study(
+        topology, samples=args.samples, seed=args.seed
+    )
+    for line in study.summary_lines():
+        print(" ", line)
+
+    print("\nconclusion: the non-minimal ROA turns total compromise back "
+          "on; a minimal ROA limits the attacker to the (much weaker) "
+          "same-prefix forged-origin attack.")
+
+
+if __name__ == "__main__":
+    main()

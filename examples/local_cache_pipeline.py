@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The Figure 1 pipeline, end to end with real crypto and real sockets.
+
+Builds an RPKI from scratch — trust anchor, an RIR, two member
+organizations, RSA-signed DER objects — then runs a relying party over
+it, compresses the resulting PDUs with compress_roas, serves them over
+the RPKI-to-Router protocol on localhost, and has a "router" client
+validate BGP announcements against what it learned.
+
+Run:  python examples/local_cache_pipeline.py
+"""
+
+import random
+
+from repro.bgp import Announcement, ValidationState, VrpIndex, validate_announcement
+from repro.core import LocalCache
+from repro.netbase import Prefix
+from repro.rpki import AsRange, CertificateAuthority, Repository, Roa, RoaPrefix
+from repro.rtr import RtrClient
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+def main() -> None:
+    rng = random.Random(20170601)
+    repository = Repository()
+
+    print("1. building the RPKI hierarchy (RSA keys, DER objects)...")
+    ta = CertificateAuthority.create_trust_anchor(
+        "TA", repository,
+        ip_resources=(p("0.0.0.0/0"), p("::/0")),
+        rng=rng, now=1_000,
+    )
+    rir = ta.issue_child(
+        "ARIN", ip_resources=(p("168.0.0.0/6"),),
+        as_resources=(AsRange(0, 2**32 - 1),),
+    )
+    bu = rir.issue_child("BU", ip_resources=(p("168.122.0.0/16"),))
+    other = rir.issue_child("ISP", ip_resources=(p("169.10.0.0/16"),))
+
+    print("2. issuing ROAs (one loose, one minimal-with-siblings)...")
+    bu.issue_roa(Roa(111, [RoaPrefix(p("168.122.0.0/16"), 24)]))
+    other.issue_roa(
+        Roa(
+            31283,
+            [
+                RoaPrefix(p("169.10.32.0/19")),
+                RoaPrefix(p("169.10.32.0/20")),
+                RoaPrefix(p("169.10.48.0/20")),
+                RoaPrefix(p("169.10.32.0/21")),
+            ],
+        )
+    )
+    ta.publish_tree()
+    print(f"   repository now holds {repository.total_objects()} objects")
+
+    print("3. relying party validates the repository...")
+    with LocalCache(compress=True) as cache:
+        run = cache.refresh_from_repository(repository, [ta.certificate], now=1_000)
+        print(f"   {run.cas_seen} CAs walked, {run.roas_seen} ROAs verified, "
+              f"{len(run.issues)} issues")
+        stats = cache.compression_stats()
+        print(f"4. compress_roas: {stats}")
+
+        print("5. serving over RPKI-to-Router...")
+        server = cache.serve()
+        print(f"   cache listening on {server.host}:{server.port}")
+
+        with RtrClient(server.host, server.port) as router:
+            pdus = router.sync()
+            print(f"6. router synced: {pdus} PDUs processed, "
+                  f"{len(router.vrps)} VRPs installed")
+
+            index = VrpIndex(router.vrps)
+            print("7. origin validation at the router:")
+            for text, path in [
+                ("168.122.0.0/16", (3356, 111)),
+                ("168.122.225.0/24", (111,)),          # de-agg: valid (maxLength)
+                ("168.122.0.0/24", (666, 111)),        # forged-origin subprefix!
+                ("169.10.32.0/20", (31283,)),
+                ("169.10.40.0/21", (666, 31283)),      # not covered by minimal set
+                ("8.8.8.0/24", (15169,)),
+            ]:
+                announcement = Announcement(p(text), path)
+                state = validate_announcement(announcement, index)
+                flag = ""
+                if state is ValidationState.VALID and path[0] == 666:
+                    flag = "   <- the §4 attack: valid because of maxLength"
+                if state is ValidationState.INVALID and path[0] == 666:
+                    flag = "   <- blocked: the ROA is minimal"
+                print(f"   {announcement}  ->  {state.value}{flag}")
+
+    print("\ndone: same architecture as Figure 1, no router changes needed.")
+
+
+if __name__ == "__main__":
+    main()

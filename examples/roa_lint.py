@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""ROA lint: the paper's §8 recommendations as a review tool.
+
+The paper recommends that RIR user interfaces steer operators toward
+minimal, maxLength-free ROAs.  This example plays the role of such an
+interface's backend: it reviews ROAs against the BGP table, explains
+each problem in operator terms, and proposes the safe replacement
+(minimal + Algorithm-1-compressed, so there is no PDU penalty).
+
+Run:  python examples/roa_lint.py            # curated examples
+      python examples/roa_lint.py --scale 0.005   # lint a synthetic RPKI
+"""
+
+import argparse
+from collections import Counter
+
+from repro.core import Severity, lint_roa, lint_roas
+from repro.data import GeneratorConfig, generate_snapshot
+from repro.netbase import Prefix
+from repro.rpki import Roa, RoaPrefix
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+def curated_examples() -> None:
+    announced = [
+        (p("168.122.0.0/16"), 111),
+        (p("168.122.225.0/24"), 111),
+        (p("87.254.32.0/19"), 31283),
+        (p("87.254.32.0/20"), 31283),
+        (p("87.254.48.0/20"), 31283),
+        (p("87.254.32.0/21"), 31283),
+    ]
+    cases = [
+        ("the paper's §4 misconfiguration",
+         Roa(111, [RoaPrefix(p("168.122.0.0/16"), 24)])),
+        ("§3 gone wrong: exact ROA, de-aggregated announcements",
+         Roa(111, [RoaPrefix(p("168.122.0.0/16"))])),
+        ("the recommended minimal ROA",
+         Roa(111, [p("168.122.0.0/16"), p("168.122.225.0/24")])),
+        ("Figure 2's AS with an unused extra entry",
+         Roa(31283, [p("87.254.32.0/19"), p("87.254.32.0/20"),
+                     p("87.254.48.0/20"), p("87.254.32.0/21"),
+                     p("87.254.0.0/19")])),
+    ]
+    for title, roa in cases:
+        print(f"\n--- {title} ---")
+        print(lint_roa(roa, announced).render())
+
+
+def lint_synthetic(scale: float, seed: int) -> None:
+    print(f"generating a synthetic RPKI at scale {scale}...")
+    snapshot = generate_snapshot(GeneratorConfig(scale=scale, seed=seed))
+    reviews = lint_roas(snapshot.roas, snapshot.announced)
+
+    by_severity = Counter(review.severity for review in reviews)
+    print(f"\nreviewed {len(reviews)} ROAs:")
+    for severity in (Severity.ERROR, Severity.WARNING, Severity.INFO):
+        label = {Severity.ERROR: "vulnerable / broken",
+                 Severity.WARNING: "questionable",
+                 Severity.INFO: "clean"}[severity]
+        print(f"  {by_severity.get(severity, 0):5d}  {label}")
+
+    print("\nworst offenders:")
+    errors = [r for r in reviews if r.severity is Severity.ERROR]
+    for review in errors[:3]:
+        print()
+        print(review.render())
+
+    fixable = sum(1 for r in reviews if r.suggested is not None)
+    print(f"\n{fixable} ROAs have an automatic minimal replacement "
+          "(no new ROAs, no PDU penalty after compression).")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="lint a synthetic RPKI at this scale instead "
+                             "of the curated examples")
+    parser.add_argument("--seed", type=int, default=20170601)
+    args = parser.parse_args()
+    if args.scale is None:
+        curated_examples()
+    else:
+        lint_synthetic(args.scale, args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The build environment has no ``wheel`` package, so PEP 660 editable
+installs are unavailable; ``pip install -e . --no-build-isolation
+--no-use-pep517`` uses this file via ``setup.py develop`` instead.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

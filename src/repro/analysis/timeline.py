@@ -1,0 +1,80 @@
+"""Vulnerability timeline: how the §6 findings evolve week to week.
+
+The paper reports the maxLength/vulnerability statistics for a single
+date (6/1/2017) and the PDU counts along the weekly series (Figure 3).
+This extension completes the matrix: it runs the §6 vulnerability
+classification on *every* weekly snapshot, giving the trend an operator
+or registry would monitor — is the vulnerable population growing with
+RPKI adoption?  (In the 2017 data, and in our calibrated generator, it
+does: maxLength misuse grows proportionally with deployment.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.vulnerability import analyze_vrps
+from ..data.internet import InternetSnapshot
+
+__all__ = ["TimelinePoint", "VulnerabilityTimeline", "compute_timeline"]
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One week's §6 classification."""
+
+    label: str
+    total_vrps: int
+    maxlength_vrps: int
+    vulnerable_vrps: int
+
+    @property
+    def maxlength_fraction(self) -> float:
+        return self.maxlength_vrps / self.total_vrps if self.total_vrps else 0.0
+
+    @property
+    def vulnerable_fraction(self) -> float:
+        if not self.maxlength_vrps:
+            return 0.0
+        return self.vulnerable_vrps / self.maxlength_vrps
+
+
+@dataclass(frozen=True)
+class VulnerabilityTimeline:
+    """The classification across the whole series."""
+
+    points: tuple[TimelinePoint, ...]
+
+    def render(self) -> str:
+        lines = [
+            f"{'week':>12} {'VRPs':>8} {'w/ maxLen':>10} {'% of VRPs':>10} "
+            f"{'vulnerable':>11} {'% of maxLen':>12}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.label:>12} {point.total_vrps:>8,} "
+                f"{point.maxlength_vrps:>10,} "
+                f"{100 * point.maxlength_fraction:>9.1f}% "
+                f"{point.vulnerable_vrps:>11,} "
+                f"{100 * point.vulnerable_fraction:>11.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def compute_timeline(
+    snapshots: Sequence[InternetSnapshot],
+) -> VulnerabilityTimeline:
+    """Classify every snapshot; returns the weekly trend."""
+    points = []
+    for snapshot in snapshots:
+        report = analyze_vrps(snapshot.vrps, snapshot.announced)
+        points.append(
+            TimelinePoint(
+                label=snapshot.label,
+                total_vrps=report.total_vrps,
+                maxlength_vrps=report.maxlength_vrps,
+                vulnerable_vrps=report.vulnerable_vrps,
+            )
+        )
+    return VulnerabilityTimeline(points=tuple(points))

@@ -1,0 +1,35 @@
+"""Minimal DER (X.690) encoder/decoder for RPKI object profiles."""
+
+from .der import (
+    Asn1Error,
+    Asn1Value,
+    BitString,
+    ContextTag,
+    Integer,
+    Null,
+    ObjectIdentifier,
+    OctetString,
+    Sequence_,
+    Set_,
+    Utf8String,
+    decode,
+    decode_all,
+    encode,
+)
+
+__all__ = [
+    "Asn1Error",
+    "Asn1Value",
+    "BitString",
+    "ContextTag",
+    "Integer",
+    "Null",
+    "ObjectIdentifier",
+    "OctetString",
+    "Sequence_",
+    "Set_",
+    "Utf8String",
+    "decode",
+    "decode_all",
+    "encode",
+]

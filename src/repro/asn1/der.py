@@ -1,0 +1,338 @@
+"""A minimal DER (Distinguished Encoding Rules) codec.
+
+The RPKI carries its objects (ROAs per RFC 6482, certificates, manifests)
+as DER-encoded ASN.1.  This module implements just enough of X.690 to
+round-trip the structures in :mod:`repro.rpki`: definite lengths and the
+universal types INTEGER, BIT STRING, OCTET STRING, NULL, OBJECT
+IDENTIFIER, UTF8String, SEQUENCE, SET, and context-specific tagging.
+
+The API is value-based: :func:`encode` maps a tree of
+:class:`Asn1Value` nodes to bytes; :func:`decode` maps bytes back to the
+tree.  Higher layers (:mod:`repro.rpki.roa`) do the schema mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from ..netbase.errors import ReproError
+
+__all__ = [
+    "Asn1Error",
+    "Asn1Value",
+    "Integer",
+    "BitString",
+    "OctetString",
+    "Null",
+    "ObjectIdentifier",
+    "Utf8String",
+    "Sequence_",
+    "Set_",
+    "ContextTag",
+    "encode",
+    "decode",
+]
+
+
+class Asn1Error(ReproError):
+    """Malformed DER input or an unencodable value."""
+
+
+# Universal tag numbers (X.690 §8).
+TAG_INTEGER = 0x02
+TAG_BIT_STRING = 0x03
+TAG_OCTET_STRING = 0x04
+TAG_NULL = 0x05
+TAG_OID = 0x06
+TAG_UTF8STRING = 0x0C
+TAG_SEQUENCE = 0x30  # constructed
+TAG_SET = 0x31  # constructed
+
+
+@dataclass(frozen=True)
+class Integer:
+    """ASN.1 INTEGER (arbitrary precision, two's complement on the wire)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class BitString:
+    """ASN.1 BIT STRING: ``bits`` is a string of '0'/'1' characters.
+
+    RFC 3779 address encoding relies on bit strings whose length is not a
+    multiple of 8, so we keep the exact bit count.
+    """
+
+    bits: str
+
+    def __post_init__(self) -> None:
+        if any(ch not in "01" for ch in self.bits):
+            raise Asn1Error(f"bit string must contain only 0/1: {self.bits!r}")
+
+
+@dataclass(frozen=True)
+class OctetString:
+    value: bytes
+
+
+@dataclass(frozen=True)
+class Null:
+    pass
+
+
+@dataclass(frozen=True)
+class ObjectIdentifier:
+    """ASN.1 OBJECT IDENTIFIER, e.g. ``"1.2.840.113549.1.1.11"``."""
+
+    dotted: str
+
+    def arcs(self) -> list[int]:
+        try:
+            arcs = [int(part) for part in self.dotted.split(".")]
+        except ValueError:
+            raise Asn1Error(f"bad OID {self.dotted!r}") from None
+        if len(arcs) < 2:
+            raise Asn1Error(f"OID needs at least two arcs: {self.dotted!r}")
+        return arcs
+
+
+@dataclass(frozen=True)
+class Utf8String:
+    value: str
+
+
+@dataclass(frozen=True)
+class Sequence_:
+    """ASN.1 SEQUENCE of nested values."""
+
+    elements: tuple["Asn1Value", ...]
+
+    def __init__(self, elements: Iterable["Asn1Value"]) -> None:
+        object.__setattr__(self, "elements", tuple(elements))
+
+
+@dataclass(frozen=True)
+class Set_:
+    """ASN.1 SET (DER: elements sorted by encoding)."""
+
+    elements: tuple["Asn1Value", ...]
+
+    def __init__(self, elements: Iterable["Asn1Value"]) -> None:
+        object.__setattr__(self, "elements", tuple(elements))
+
+
+@dataclass(frozen=True)
+class ContextTag:
+    """A context-specific, constructed tag [n] wrapping one value."""
+
+    number: int
+    inner: "Asn1Value"
+
+
+Asn1Value = Union[
+    Integer,
+    BitString,
+    OctetString,
+    Null,
+    ObjectIdentifier,
+    Utf8String,
+    Sequence_,
+    Set_,
+    ContextTag,
+]
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_length(length: int) -> bytes:
+    if length < 0x80:
+        return bytes([length])
+    body = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(body)]) + body
+
+
+def _encode_tlv(tag: int, body: bytes) -> bytes:
+    return bytes([tag]) + _encode_length(len(body)) + body
+
+
+def _encode_integer(value: int) -> bytes:
+    if value == 0:
+        return _encode_tlv(TAG_INTEGER, b"\x00")
+    length = (value.bit_length() // 8) + 1  # always room for the sign bit
+    body = value.to_bytes(length, "big", signed=True)
+    # Strip redundant leading bytes while preserving the sign bit (DER
+    # requires the minimal encoding).
+    while len(body) > 1 and (
+        (body[0] == 0x00 and not body[1] & 0x80)
+        or (body[0] == 0xFF and body[1] & 0x80)
+    ):
+        body = body[1:]
+    return _encode_tlv(TAG_INTEGER, body)
+
+
+def _encode_bit_string(bits: str) -> bytes:
+    unused = (8 - len(bits) % 8) % 8
+    padded = bits + "0" * unused
+    body = bytes([unused]) + bytes(
+        int(padded[i:i + 8], 2) for i in range(0, len(padded), 8)
+    )
+    return _encode_tlv(TAG_BIT_STRING, body)
+
+
+def _encode_oid(oid: ObjectIdentifier) -> bytes:
+    arcs = oid.arcs()
+    if arcs[0] > 2 or (arcs[0] < 2 and arcs[1] >= 40):
+        raise Asn1Error(f"bad leading OID arcs in {oid.dotted!r}")
+    body = bytearray([40 * arcs[0] + arcs[1]])
+    for arc in arcs[2:]:
+        chunk = bytearray([arc & 0x7F])
+        arc >>= 7
+        while arc:
+            chunk.append(0x80 | (arc & 0x7F))
+            arc >>= 7
+        body.extend(reversed(chunk))
+    return _encode_tlv(TAG_OID, bytes(body))
+
+
+def encode(value: Asn1Value) -> bytes:
+    """DER-encode an :class:`Asn1Value` tree."""
+    if isinstance(value, Integer):
+        return _encode_integer(value.value)
+    if isinstance(value, BitString):
+        return _encode_bit_string(value.bits)
+    if isinstance(value, OctetString):
+        return _encode_tlv(TAG_OCTET_STRING, value.value)
+    if isinstance(value, Null):
+        return _encode_tlv(TAG_NULL, b"")
+    if isinstance(value, ObjectIdentifier):
+        return _encode_oid(value)
+    if isinstance(value, Utf8String):
+        return _encode_tlv(TAG_UTF8STRING, value.value.encode("utf-8"))
+    if isinstance(value, Sequence_):
+        return _encode_tlv(TAG_SEQUENCE, b"".join(encode(e) for e in value.elements))
+    if isinstance(value, Set_):
+        encoded = sorted(encode(e) for e in value.elements)
+        return _encode_tlv(TAG_SET, b"".join(encoded))
+    if isinstance(value, ContextTag):
+        if value.number > 30:
+            raise Asn1Error(f"context tag {value.number} too large")
+        return _encode_tlv(0xA0 | value.number, encode(value.inner))
+    raise Asn1Error(f"cannot encode {type(value).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def _read_tlv(data: bytes, offset: int) -> tuple[int, bytes, int]:
+    """Read one TLV; returns (tag, body, next_offset)."""
+    if offset >= len(data):
+        raise Asn1Error("truncated DER: no tag byte")
+    tag = data[offset]
+    offset += 1
+    if offset >= len(data):
+        raise Asn1Error("truncated DER: no length byte")
+    first = data[offset]
+    offset += 1
+    if first < 0x80:
+        length = first
+    else:
+        count = first & 0x7F
+        if count == 0:
+            raise Asn1Error("indefinite lengths are not DER")
+        if offset + count > len(data):
+            raise Asn1Error("truncated DER: bad long-form length")
+        length = int.from_bytes(data[offset:offset + count], "big")
+        if length < 0x80 and count == 1:
+            raise Asn1Error("non-minimal length encoding")
+        offset += count
+    if offset + length > len(data):
+        raise Asn1Error("truncated DER: body shorter than declared")
+    return tag, data[offset:offset + length], offset + length
+
+
+def _decode_sequence_body(body: bytes) -> tuple[Asn1Value, ...]:
+    elements = []
+    offset = 0
+    while offset < len(body):
+        element, offset = _decode_at(body, offset)
+        elements.append(element)
+    return tuple(elements)
+
+
+def _decode_at(data: bytes, offset: int) -> tuple[Asn1Value, int]:
+    tag, body, next_offset = _read_tlv(data, offset)
+    if tag == TAG_INTEGER:
+        if not body:
+            raise Asn1Error("empty INTEGER body")
+        return Integer(int.from_bytes(body, "big", signed=True)), next_offset
+    if tag == TAG_BIT_STRING:
+        if not body:
+            raise Asn1Error("empty BIT STRING body")
+        unused = body[0]
+        if unused > 7:
+            raise Asn1Error(f"bad unused-bit count {unused}")
+        bit_text = "".join(format(byte, "08b") for byte in body[1:])
+        if unused:
+            if not bit_text or bit_text[-unused:] != "0" * unused:
+                raise Asn1Error("unused bits must be zero in DER")
+            bit_text = bit_text[:-unused]
+        return BitString(bit_text), next_offset
+    if tag == TAG_OCTET_STRING:
+        return OctetString(body), next_offset
+    if tag == TAG_NULL:
+        if body:
+            raise Asn1Error("NULL with non-empty body")
+        return Null(), next_offset
+    if tag == TAG_OID:
+        if not body:
+            raise Asn1Error("empty OID body")
+        arcs = [body[0] // 40, body[0] % 40]
+        arc = 0
+        for byte in body[1:]:
+            arc = (arc << 7) | (byte & 0x7F)
+            if not byte & 0x80:
+                arcs.append(arc)
+                arc = 0
+        if body[-1] & 0x80:
+            raise Asn1Error("truncated OID arc")
+        return ObjectIdentifier(".".join(str(a) for a in arcs)), next_offset
+    if tag == TAG_UTF8STRING:
+        try:
+            return Utf8String(body.decode("utf-8")), next_offset
+        except UnicodeDecodeError as exc:
+            raise Asn1Error(f"bad UTF8String: {exc}") from None
+    if tag == TAG_SEQUENCE:
+        return Sequence_(_decode_sequence_body(body)), next_offset
+    if tag == TAG_SET:
+        return Set_(_decode_sequence_body(body)), next_offset
+    if tag & 0xE0 == 0xA0:  # context-specific constructed
+        inner, inner_end = _decode_at(body, 0)
+        if inner_end != len(body):
+            raise Asn1Error("context tag wraps more than one value")
+        return ContextTag(tag & 0x1F, inner), next_offset
+    raise Asn1Error(f"unsupported tag 0x{tag:02x}")
+
+
+def decode(data: bytes) -> Asn1Value:
+    """Decode exactly one DER value; trailing bytes are an error."""
+    value, end = _decode_at(data, 0)
+    if end != len(data):
+        raise Asn1Error(f"{len(data) - end} trailing bytes after DER value")
+    return value
+
+
+def decode_all(data: bytes) -> list[Asn1Value]:
+    """Decode a concatenation of DER values."""
+    values: list[Asn1Value] = []
+    offset = 0
+    while offset < len(data):
+        value, offset = _decode_at(data, offset)
+        values.append(value)
+    return values

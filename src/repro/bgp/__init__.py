@@ -1,0 +1,65 @@
+"""BGP substrate: announcements, RIBs, validation, propagation, attacks."""
+
+from .announcement import Announcement, AnnouncementError
+from .message import (
+    AsPathSegment,
+    BgpHeader,
+    BgpMessage,
+    BgpMessageError,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+    announcement_to_update,
+    decode_message,
+    encode_message,
+    update_to_announcements,
+)
+from .attacks import AttackKind, AttackOutcome, AttackScenario, evaluate_attack
+from .origin_validation import ValidationState, VrpIndex, validate_announcement
+from .rib import AdjRibIn, Rib
+from .session import BgpSessionError, BgpSpeaker
+from .simulation import (
+    Route,
+    RouteClass,
+    Seed,
+    SimulationError,
+    propagate_prefix,
+)
+from .topology import AsTopology, Relationship, TopologyError
+
+__all__ = [
+    "AdjRibIn",
+    "Announcement",
+    "AnnouncementError",
+    "AsPathSegment",
+    "BgpHeader",
+    "BgpMessage",
+    "BgpMessageError",
+    "KeepaliveMessage",
+    "NotificationMessage",
+    "OpenMessage",
+    "UpdateMessage",
+    "announcement_to_update",
+    "decode_message",
+    "encode_message",
+    "update_to_announcements",
+    "AsTopology",
+    "BgpSessionError",
+    "BgpSpeaker",
+    "AttackKind",
+    "AttackOutcome",
+    "AttackScenario",
+    "Relationship",
+    "Rib",
+    "Route",
+    "RouteClass",
+    "Seed",
+    "SimulationError",
+    "TopologyError",
+    "ValidationState",
+    "VrpIndex",
+    "evaluate_attack",
+    "propagate_prefix",
+    "validate_announcement",
+]

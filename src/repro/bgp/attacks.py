@@ -1,0 +1,211 @@
+"""Hijack attack scenarios and their effectiveness measurement.
+
+The four attacks the paper contrasts (§2, §4, §5):
+
+================================  =======================  ==================
+attack                            announcement             RPKI verdict
+================================  =======================  ==================
+prefix hijack                     "p: AS m"                invalid (dropped)
+subprefix hijack                  "q ⊂ p: AS m"            invalid (dropped)
+forged-origin (same prefix)       "p: AS m, AS v"          valid — traffic
+                                                           *splits* with the
+                                                           legit route
+forged-origin subprefix           "q ⊂ p: AS m, AS v"      valid when a
+                                                           non-minimal ROA
+                                                           covers q — attacker
+                                                           gets **100%** of q
+================================  =======================  ==================
+
+Each scenario builder returns the seeds for
+:func:`repro.bgp.simulation.propagate_prefix`; :func:`evaluate_attack`
+runs the simulation(s) and reports the attacker's capture fraction over
+the target address space, using longest-prefix-match to combine the
+hijacked prefix with the victim's covering route.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netbase import Prefix
+from ..netbase.errors import ReproError
+from .origin_validation import ValidationState, VrpIndex
+from .simulation import Route, Seed, propagate_prefix
+from .topology import AsTopology
+
+__all__ = [
+    "AttackKind",
+    "AttackScenario",
+    "AttackOutcome",
+    "evaluate_attack",
+]
+
+
+class AttackKind:
+    """Names for the four attack variants."""
+
+    PREFIX_HIJACK = "prefix-hijack"
+    SUBPREFIX_HIJACK = "subprefix-hijack"
+    FORGED_ORIGIN = "forged-origin"
+    FORGED_ORIGIN_SUBPREFIX = "forged-origin-subprefix"
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """One (victim, attacker) experiment.
+
+    Attributes:
+        kind: an :class:`AttackKind` name.
+        victim: the legitimate origin AS.
+        attacker: the hijacking AS ("AS m" in the paper).
+        victim_prefix: the prefix the victim announces.
+        attack_prefix: the prefix the attacker announces (equal to
+            ``victim_prefix`` for same-prefix attacks, a subprefix for
+            subprefix attacks).
+    """
+
+    kind: str
+    victim: int
+    attacker: int
+    victim_prefix: Prefix
+    attack_prefix: Prefix
+
+    def __post_init__(self) -> None:
+        if not self.victim_prefix.covers(self.attack_prefix):
+            raise ReproError(
+                f"attack prefix {self.attack_prefix} outside victim's "
+                f"{self.victim_prefix}"
+            )
+
+    def attacker_seed(self) -> Seed:
+        """The attacker's announcement for this attack kind."""
+        if self.kind in (AttackKind.FORGED_ORIGIN,
+                         AttackKind.FORGED_ORIGIN_SUBPREFIX):
+            return Seed.forged_origin(self.attacker, self.victim)
+        return Seed.origin(self.attacker)
+
+    @property
+    def is_subprefix_attack(self) -> bool:
+        return self.attack_prefix != self.victim_prefix
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of simulating one scenario.
+
+    Attributes:
+        scenario: the input.
+        attacker_fraction: share of ASes whose traffic for the attacked
+            address space reaches the attacker.
+        victim_fraction: share reaching the victim.
+        disconnected_fraction: share with no route at all (e.g. the
+            hijacked announcement was dropped as invalid and the space
+            is not otherwise covered).
+        attack_route_filtered: True when RPKI validation removed the
+            attacker's announcement everywhere.
+    """
+
+    scenario: AttackScenario
+    attacker_fraction: float
+    victim_fraction: float
+    disconnected_fraction: float
+    attack_route_filtered: bool
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scenario.kind}: attacker {100 * self.attacker_fraction:.1f}% "
+            f"victim {100 * self.victim_fraction:.1f}% "
+            f"(AS{self.scenario.attacker} vs AS{self.scenario.victim})"
+        )
+
+
+def evaluate_attack(
+    topology: AsTopology,
+    scenario: AttackScenario,
+    *,
+    vrp_index: Optional[VrpIndex] = None,
+    validating_ases: Optional[frozenset[int]] = None,
+    rng: Optional[random.Random] = None,
+) -> AttackOutcome:
+    """Simulate a hijack and measure who captures the attacked space.
+
+    The victim announces ``victim_prefix`` honestly.  The attacker
+    announces ``attack_prefix`` per the scenario kind.  For subprefix
+    attacks the two announcements are separate BGP destinations and
+    longest-prefix match sends the contested space to whoever has the
+    more specific route; for same-prefix attacks the two seeds compete
+    inside a single propagation.
+
+    Measurement is over all ASes (excluding the two parties): for each
+    AS we resolve where a packet addressed inside ``attack_prefix``
+    ends up, following the AS's most specific route.
+    """
+    judged = frozenset(topology.ases) - {scenario.victim, scenario.attacker}
+    if not judged:
+        raise ReproError("topology too small to judge an attack")
+
+    victim_seed = Seed.origin(scenario.victim)
+    attacker_seed = scenario.attacker_seed()
+
+    if scenario.is_subprefix_attack:
+        covering_routes = propagate_prefix(
+            topology, scenario.victim_prefix, [victim_seed],
+            vrp_index=vrp_index, validating_ases=validating_ases, rng=rng,
+        )
+        attack_routes = propagate_prefix(
+            topology, scenario.attack_prefix, [attacker_seed],
+            vrp_index=vrp_index, validating_ases=validating_ases, rng=rng,
+        )
+    else:
+        combined = propagate_prefix(
+            topology, scenario.victim_prefix, [victim_seed, attacker_seed],
+            vrp_index=vrp_index, validating_ases=validating_ases, rng=rng,
+        )
+        covering_routes = combined
+        attack_routes = {}
+
+    attacker_count = 0
+    victim_count = 0
+    disconnected = 0
+    for asn in judged:
+        route = _preferred_route(asn, attack_routes, covering_routes)
+        if route is None:
+            disconnected += 1
+        elif route.seed == scenario.attacker:
+            attacker_count += 1
+        else:
+            victim_count += 1
+
+    total = len(judged)
+    filtered = scenario.is_subprefix_attack and not attack_routes
+    if vrp_index is not None and not scenario.is_subprefix_attack:
+        filtered = (
+            vrp_index.validate(scenario.attack_prefix,
+                               attacker_seed.path[-1])
+            is ValidationState.INVALID
+        )
+    return AttackOutcome(
+        scenario=scenario,
+        attacker_fraction=attacker_count / total,
+        victim_fraction=victim_count / total,
+        disconnected_fraction=disconnected / total,
+        attack_route_filtered=filtered,
+    )
+
+
+def _preferred_route(
+    asn: int,
+    attack_routes: dict[int, Route],
+    covering_routes: dict[int, Route],
+) -> Optional[Route]:
+    """Longest-prefix match between the two route tables.
+
+    The attack prefix is at least as specific as the covering prefix,
+    so an AS holding a route for it always prefers that route for
+    addresses inside it.
+    """
+    if asn in attack_routes:
+        return attack_routes[asn]
+    return covering_routes.get(asn)

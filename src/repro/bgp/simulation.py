@@ -1,0 +1,230 @@
+"""Single-prefix BGP route propagation under Gao–Rexford policy.
+
+The evaluation of §4/§5 needs to *measure* attack effectiveness: what
+fraction of the Internet routes to a hijacker under each attack
+variant?  This module implements the standard interdomain propagation
+model used by that literature (e.g. Lychev–Goldberg–Schapira [16]):
+
+* **Preference**: customer routes over peer routes over provider
+  routes; then shorter AS paths; then a deterministic (or seeded
+  random) tie-break.
+* **Export**: routes learned from customers are exported to everyone;
+  routes learned from peers or providers are exported only to
+  customers.
+
+Propagation proceeds in three phases — customer routes climb provider
+links from the origins, peer routes cross one peering edge, provider
+routes descend.  Within each phase, candidate routes are adopted in
+strictly increasing path-length order (a bucketed BFS), so every AS
+sees *all* of its equally-short options before the tie-break runs.
+Length ordering matters because seeds may inject paths of different
+lengths: a forged-origin announcement starts with path
+``(attacker, victim)`` — one hop longer than the victim's honest
+``(victim,)`` — which is exactly the handicap [16] identifies.
+
+Origin validation plugs in as a filter: validating ASes silently
+discard announcements whose (prefix, claimed origin) is RPKI-invalid.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..netbase import Prefix
+from ..netbase.errors import ReproError
+from .origin_validation import ValidationState, VrpIndex
+from .topology import AsTopology
+
+__all__ = ["RouteClass", "Route", "Seed", "propagate_prefix", "SimulationError"]
+
+
+class SimulationError(ReproError):
+    """Inconsistent simulation setup (unknown seed AS, duplicate seeds)."""
+
+
+class RouteClass(enum.IntEnum):
+    """Adoption preference, best first."""
+
+    ORIGIN = 0  # the AS itself injected the route
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class Route:
+    """The route one AS selected for the simulated prefix.
+
+    Attributes:
+        path: AS path as it stands at this AS (this AS not prepended).
+        route_class: how the route arrived.
+        seed: the AS that injected the announcement — for a forged
+            path this is the *attacker*, even though ``path[-1]`` names
+            the victim.
+    """
+
+    path: tuple[int, ...]
+    route_class: RouteClass
+    seed: int
+
+    @property
+    def length(self) -> int:
+        return len(self.path)
+
+    @property
+    def claimed_origin(self) -> int:
+        return self.path[-1]
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One announcement injected into the simulation.
+
+    Attributes:
+        asn: the AS sending the announcement.
+        path: initial AS path; ``(asn,)`` for an honest origination,
+            ``(asn, victim)`` for a forged-origin announcement.
+    """
+
+    asn: int
+    path: tuple[int, ...]
+
+    @classmethod
+    def origin(cls, asn: int) -> "Seed":
+        return cls(asn, (asn,))
+
+    @classmethod
+    def forged_origin(cls, attacker: int, victim: int) -> "Seed":
+        return cls(attacker, (attacker, victim))
+
+
+#: A candidate route offer: (advertising neighbor, full path, seed AS).
+_Offer = tuple[int, tuple[int, ...], int]
+
+
+def propagate_prefix(
+    topology: AsTopology,
+    prefix: Prefix,
+    seeds: Iterable[Seed],
+    *,
+    vrp_index: Optional[VrpIndex] = None,
+    validating_ases: Optional[frozenset[int]] = None,
+    rng: Optional[random.Random] = None,
+) -> dict[int, Route]:
+    """Simulate propagation of one prefix; returns each AS's choice.
+
+    Args:
+        topology: the AS graph.
+        prefix: the announced prefix (used only for origin validation).
+        seeds: the competing announcements.
+        vrp_index: when given, validating ASes drop announcements whose
+            (prefix, claimed origin) is RPKI-INVALID.
+        validating_ases: which ASes enforce validation; defaults to all
+            (when ``vrp_index`` is given) — the paper's "RPKI deployed"
+            setting.
+        rng: tie-break source; None means deterministic (prefer the
+            lower advertising-neighbor ASN).
+
+    Returns:
+        Mapping from ASN to the :class:`Route` it selected.  ASes that
+        never hear a (surviving) route are absent.
+    """
+    seed_list = list(seeds)
+    seen_seed_ases: set[int] = set()
+    for seed in seed_list:
+        if seed.asn not in topology:
+            raise SimulationError(f"seed AS{seed.asn} not in topology")
+        if seed.asn in seen_seed_ases:
+            raise SimulationError(f"duplicate seed for AS{seed.asn}")
+        seen_seed_ases.add(seed.asn)
+
+    def drops(asn: int, path: tuple[int, ...]) -> bool:
+        if vrp_index is None:
+            return False
+        if validating_ases is not None and asn not in validating_ases:
+            return False
+        return vrp_index.validate(prefix, path[-1]) is ValidationState.INVALID
+
+    def tie_break(options: list[_Offer]) -> _Offer:
+        if rng is not None:
+            return rng.choice(options)
+        return min(options)
+
+    adopted: dict[int, Route] = {}
+    for seed in seed_list:
+        if not drops(seed.asn, seed.path):
+            adopted[seed.asn] = Route(seed.path, RouteClass.ORIGIN, seed.asn)
+
+    def sweep(
+        exporters: list[tuple[int, Route]],
+        next_hops: Callable[[int], frozenset[int]],
+        route_class: RouteClass,
+    ) -> None:
+        """Adopt routes along ``next_hops`` edges in path-length order.
+
+        ``exporters`` seeds the frontier; every adoption re-exports to
+        its own ``next_hops``, so the sweep chains (phases 1 and 3).
+        """
+        buckets: dict[int, dict[int, list[_Offer]]] = {}
+
+        def offer(source: int, route: Route) -> None:
+            # A seed's own path already names it; everyone else prepends.
+            if route.route_class is RouteClass.ORIGIN:
+                path = route.path
+            else:
+                path = (source,) + route.path
+            for target in next_hops(source):
+                if target in adopted or target in path:
+                    continue
+                if drops(target, path):
+                    continue
+                buckets.setdefault(len(path), {}).setdefault(target, []).append(
+                    (source, path, route.seed)
+                )
+
+        for asn, route in exporters:
+            offer(asn, route)
+        while buckets:
+            length = min(buckets)
+            batch = buckets.pop(length)
+            for asn, options in sorted(batch.items()):
+                if asn in adopted:
+                    continue
+                _neighbor, path, seed_asn = tie_break(options)
+                route = Route(path, route_class, seed_asn)
+                adopted[asn] = route
+                offer(asn, route)
+
+    # Phase 1 — customer routes climb provider edges.
+    sweep(list(adopted.items()), topology.providers_of, RouteClass.CUSTOMER)
+
+    # Phase 2 — customer/origin routes cross one peering edge.  No
+    # chaining: peer routes are not re-exported to peers, so collect
+    # offers once and settle each AS by shortest-then-tie-break.
+    peer_offers: dict[int, list[_Offer]] = {}
+    for asn, route in list(adopted.items()):
+        if route.route_class not in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
+            continue
+        if route.route_class is RouteClass.ORIGIN:
+            path = route.path
+        else:
+            path = (asn,) + route.path
+        for peer in topology.peers_of(asn):
+            if peer in adopted or peer in path:
+                continue
+            if drops(peer, path):
+                continue
+            peer_offers.setdefault(peer, []).append((asn, path, route.seed))
+    for asn, options in sorted(peer_offers.items()):
+        best_length = min(len(path) for _n, path, _s in options)
+        shortest = [opt for opt in options if len(opt[1]) == best_length]
+        _neighbor, path, seed_asn = tie_break(shortest)
+        adopted[asn] = Route(path, RouteClass.PEER, seed_asn)
+
+    # Phase 3 — every adopted route descends customer edges.
+    sweep(list(adopted.items()), topology.customers_of, RouteClass.PROVIDER)
+
+    return adopted

@@ -1,0 +1,159 @@
+"""AS-level Internet topology with business relationships.
+
+Interdomain routing policy is driven by the Gao–Rexford model: each
+inter-AS link is either *customer–provider* (the customer pays) or
+*peer–peer* (settlement-free).  The topology stores the directed
+customer→provider relation plus the symmetric peer relation, and offers
+the neighbor views the propagation simulator needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator
+
+from ..netbase.errors import ReproError
+
+__all__ = ["Relationship", "AsTopology", "TopologyError"]
+
+
+class TopologyError(ReproError):
+    """Inconsistent topology construction (conflicting edge types)."""
+
+
+class Relationship(enum.Enum):
+    """The three ways a route can arrive, in preference order."""
+
+    CUSTOMER = "customer"  # learned from a customer (they pay us)
+    PEER = "peer"
+    PROVIDER = "provider"  # learned from a provider (we pay them)
+
+
+class AsTopology:
+    """A multigraph-free AS topology.
+
+    Edges are added with :meth:`add_customer_provider` and
+    :meth:`add_peering`; an AS pair can have only one relationship.
+    """
+
+    def __init__(self) -> None:
+        self._providers: dict[int, set[int]] = {}
+        self._customers: dict[int, set[int]] = {}
+        self._peers: dict[int, set[int]] = {}
+        self._nodes: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_as(self, asn: int) -> None:
+        self._nodes.add(asn)
+
+    def add_customer_provider(self, customer: int, provider: int) -> None:
+        """Record that ``customer`` buys transit from ``provider``."""
+        if customer == provider:
+            raise TopologyError(f"AS{customer} cannot be its own provider")
+        if self._has_edge(customer, provider):
+            raise TopologyError(
+                f"AS{customer}-AS{provider} already has a relationship"
+            )
+        self._nodes.update((customer, provider))
+        self._providers.setdefault(customer, set()).add(provider)
+        self._customers.setdefault(provider, set()).add(customer)
+
+    def add_peering(self, left: int, right: int) -> None:
+        """Record a settlement-free peering between two ASes."""
+        if left == right:
+            raise TopologyError(f"AS{left} cannot peer with itself")
+        if self._has_edge(left, right):
+            raise TopologyError(f"AS{left}-AS{right} already has a relationship")
+        self._nodes.update((left, right))
+        self._peers.setdefault(left, set()).add(right)
+        self._peers.setdefault(right, set()).add(left)
+
+    def _has_edge(self, a: int, b: int) -> bool:
+        return (
+            b in self._providers.get(a, ())
+            or b in self._customers.get(a, ())
+            or b in self._peers.get(a, ())
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def ases(self) -> frozenset[int]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._nodes
+
+    def providers_of(self, asn: int) -> frozenset[int]:
+        return frozenset(self._providers.get(asn, ()))
+
+    def customers_of(self, asn: int) -> frozenset[int]:
+        return frozenset(self._customers.get(asn, ()))
+
+    def peers_of(self, asn: int) -> frozenset[int]:
+        return frozenset(self._peers.get(asn, ()))
+
+    def neighbors_of(self, asn: int) -> frozenset[int]:
+        return (
+            self.providers_of(asn) | self.customers_of(asn) | self.peers_of(asn)
+        )
+
+    def relationship(self, asn: int, neighbor: int) -> Relationship:
+        """How a route from ``neighbor`` arrives at ``asn``."""
+        if neighbor in self._customers.get(asn, ()):
+            return Relationship.CUSTOMER
+        if neighbor in self._peers.get(asn, ()):
+            return Relationship.PEER
+        if neighbor in self._providers.get(asn, ()):
+            return Relationship.PROVIDER
+        raise TopologyError(f"AS{asn} and AS{neighbor} are not neighbors")
+
+    def edges(self) -> Iterator[tuple[int, int, Relationship]]:
+        """All edges once: (customer, provider, CUSTOMER) and
+        (low, high, PEER) tuples."""
+        for customer, providers in self._providers.items():
+            for provider in providers:
+                yield (customer, provider, Relationship.CUSTOMER)
+        for left, peers in self._peers.items():
+            for right in peers:
+                if left < right:
+                    yield (left, right, Relationship.PEER)
+
+    def edge_count(self) -> int:
+        return sum(1 for _ in self.edges())
+
+    def stub_ases(self) -> frozenset[int]:
+        """ASes with no customers — the topology's leaves."""
+        return frozenset(
+            asn for asn in self._nodes if not self._customers.get(asn)
+        )
+
+    def tier1_ases(self) -> frozenset[int]:
+        """ASes with no providers — the provider-free core."""
+        return frozenset(
+            asn for asn in self._nodes if not self._providers.get(asn)
+        )
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[int, int, str]]
+    ) -> "AsTopology":
+        """Build from (a, b, kind) tuples; kind is "c2p" (a is customer
+        of b) or "p2p" (peers) — the CAIDA serialization convention."""
+        topology = cls()
+        for a, b, kind in edges:
+            if kind == "c2p":
+                topology.add_customer_provider(a, b)
+            elif kind == "p2p":
+                topology.add_peering(a, b)
+            else:
+                raise TopologyError(f"unknown edge kind {kind!r}")
+        return topology

@@ -1,0 +1,253 @@
+"""``repro-roa`` — the command-line face of the library.
+
+Subcommands mirror the paper's workflow:
+
+* ``compress``  — compress a VRP CSV (the ``compress_roas`` drop-in).
+* ``analyze``   — the §6 vulnerability/benefit measurements for a VRP
+  CSV plus a BGP table.
+* ``minimal``   — convert a VRP CSV to minimal, maxLength-free VRPs.
+* ``generate``  — synthesize a dated snapshot to CSV + RIB files.
+* ``table1``    — print Table 1 for a snapshot (from files or synthetic).
+* ``figure3``   — print both Figure 3 panels from the weekly series.
+* ``lint``      — review ROAs against the BGP table (§8 advice as code).
+* ``rtr-serve`` — serve a VRP CSV to routers over RPKI-to-Router.
+
+Examples::
+
+    repro-roa generate --scale 0.05 --out-dir /tmp/snap
+    repro-roa analyze /tmp/snap/vrps.csv /tmp/snap/rib.txt
+    repro-roa compress /tmp/snap/vrps.csv -o /tmp/snap/compressed.csv
+    repro-roa table1 --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .analysis import (
+    compute_figure3a,
+    compute_figure3b,
+    compute_table1,
+    measure_section6,
+    render_panel,
+)
+from .core.compress import CompressionStats, compress_vrps
+from .core.minimal import to_minimal_vrps
+from .core.recommend import Severity, lint_roas
+from .rpki.roa import Roa, RoaPrefix
+from .data.internet import GeneratorConfig, generate_snapshot
+from .data.routeviews import read_origin_pairs, write_origin_pairs
+from .data.rpki_archive import read_vrp_csv, write_vrp_csv
+from .data.snapshots import SeriesConfig, generate_weekly_series
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-roa",
+        description="MaxLength-considered-harmful reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compress = sub.add_parser(
+        "compress", help="losslessly compress a VRP CSV (Algorithm 1)"
+    )
+    compress.add_argument("vrps", help="input VRP CSV")
+    compress.add_argument("-o", "--output", help="output CSV (default stdout)")
+
+    minimal = sub.add_parser(
+        "minimal", help="convert VRPs to the minimal, maxLength-free set"
+    )
+    minimal.add_argument("vrps", help="input VRP CSV")
+    minimal.add_argument("rib", help="BGP table (prefix|origin lines)")
+    minimal.add_argument("-o", "--output", help="output CSV (default stdout)")
+
+    analyze = sub.add_parser("analyze", help="run the §6 measurements")
+    analyze.add_argument("vrps", help="input VRP CSV")
+    analyze.add_argument("rib", help="BGP table (prefix|origin lines)")
+
+    generate = sub.add_parser("generate", help="synthesize a snapshot")
+    generate.add_argument("--scale", type=float, default=0.05,
+                          help="fraction of the 2017 Internet (default 0.05)")
+    generate.add_argument("--seed", type=int, default=20170601)
+    generate.add_argument("--out-dir", required=True)
+
+    table1 = sub.add_parser("table1", help="print Table 1")
+    table1.add_argument("--scale", type=float, default=0.05)
+    table1.add_argument("--seed", type=int, default=20170601)
+    table1.add_argument("--vrps", help="VRP CSV (else synthetic)")
+    table1.add_argument("--rib", help="BGP table (with --vrps)")
+
+    figure3 = sub.add_parser("figure3", help="print Figure 3 (both panels)")
+    figure3.add_argument("--scale", type=float, default=0.02)
+    figure3.add_argument("--seed", type=int, default=20170601)
+
+    lint = sub.add_parser(
+        "lint", help="review VRPs-as-ROAs against the BGP table (§8)"
+    )
+    lint.add_argument("vrps", help="input VRP CSV")
+    lint.add_argument("rib", help="BGP table (prefix|origin lines)")
+    lint.add_argument("--errors-only", action="store_true",
+                      help="print only ROAs with ERROR findings")
+
+    serve = sub.add_parser("rtr-serve", help="serve VRPs over RTR")
+    serve.add_argument("vrps", help="input VRP CSV")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8282)
+    serve.add_argument("--compress", action="store_true",
+                       help="compress before serving")
+    return parser
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    vrps = list(read_vrp_csv(args.vrps))
+    compressed = compress_vrps(vrps)
+    stats = CompressionStats(len(vrps), len(compressed))
+    if args.output:
+        write_vrp_csv(compressed, args.output)
+    else:
+        write_vrp_csv(compressed, sys.stdout)
+    print(f"compress_roas: {stats}", file=sys.stderr)
+    return 0
+
+
+def _cmd_minimal(args: argparse.Namespace) -> int:
+    vrps = list(read_vrp_csv(args.vrps))
+    announced = list(read_origin_pairs(args.rib))
+    minimal = to_minimal_vrps(vrps, announced)
+    if args.output:
+        write_vrp_csv(minimal, args.output)
+    else:
+        write_vrp_csv(minimal, sys.stdout)
+    print(
+        f"minimal ROAs: {len(vrps)} tuples -> {len(minimal)} "
+        f"announced-and-valid prefixes",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    vrps = list(read_vrp_csv(args.vrps))
+    announced = list(read_origin_pairs(args.rib))
+    measurements = measure_section6(vrps, announced)
+    for line in measurements.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    snapshot = generate_snapshot(
+        GeneratorConfig(scale=args.scale, seed=args.seed)
+    )
+    vrp_path = out_dir / "vrps.csv"
+    rib_path = out_dir / "rib.txt"
+    write_vrp_csv(snapshot.vrps, vrp_path)
+    write_origin_pairs(snapshot.announced, rib_path)
+    print(f"wrote {vrp_path} ({len(snapshot.vrps)} VRPs)")
+    print(f"wrote {rib_path} ({len(snapshot.announced)} announcements)")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    if args.vrps:
+        if not args.rib:
+            print("--rib is required with --vrps", file=sys.stderr)
+            return 2
+        vrps = list(read_vrp_csv(args.vrps))
+        announced = list(read_origin_pairs(args.rib))
+    else:
+        snapshot = generate_snapshot(
+            GeneratorConfig(scale=args.scale, seed=args.seed)
+        )
+        vrps = snapshot.vrps
+        announced = snapshot.announced
+    print(compute_table1(vrps, announced).render())
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    series = generate_weekly_series(
+        SeriesConfig(base=GeneratorConfig(scale=args.scale, seed=args.seed))
+    )
+    print(render_panel(compute_figure3a(series)))
+    print()
+    print(render_panel(compute_figure3b(series)))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    announced = list(read_origin_pairs(args.rib))
+    # Group VRP rows into per-AS ROAs: the CSV does not preserve ROA
+    # boundaries, so each AS's tuples are reviewed as one ROA.
+    by_asn: dict[int, list] = {}
+    for vrp in read_vrp_csv(args.vrps):
+        max_length = vrp.max_length if vrp.uses_max_length else None
+        by_asn.setdefault(vrp.asn, []).append(
+            RoaPrefix(vrp.prefix, max_length)
+        )
+    roas = [Roa(asn, entries) for asn, entries in sorted(by_asn.items())]
+    reviews = lint_roas(roas, announced)
+    errors = 0
+    for review in reviews:
+        if review.severity is Severity.ERROR:
+            errors += 1
+        if args.errors_only and review.severity is not Severity.ERROR:
+            continue
+        print(review.render())
+        print()
+    print(
+        f"{len(reviews)} ROAs reviewed, {errors} with vulnerabilities",
+        file=sys.stderr,
+    )
+    return 0 if errors == 0 else 1
+
+
+def _cmd_rtr_serve(args: argparse.Namespace) -> int:
+    # Imported here so the CLI works without loading socket machinery
+    # for the pure-analysis commands.
+    from .core.pipeline import LocalCache
+
+    cache = LocalCache(compress=args.compress)
+    cache.refresh_from_vrps(read_vrp_csv(args.vrps))
+    server = cache.serve(host=args.host, port=args.port)
+    print(
+        f"serving {len(cache.pdus)} PDUs on {server.host}:{server.port} "
+        f"(compress={'on' if args.compress else 'off'}); Ctrl-C to stop"
+    )
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        cache.close()
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "minimal": _cmd_minimal,
+    "analyze": _cmd_analyze,
+    "generate": _cmd_generate,
+    "lint": _cmd_lint,
+    "table1": _cmd_table1,
+    "figure3": _cmd_figure3,
+    "rtr-serve": _cmd_rtr_serve,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

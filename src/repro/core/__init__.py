@@ -1,0 +1,73 @@
+"""The paper's contribution: compression, minimality, vulnerability.
+
+* :mod:`repro.core.compress` — Algorithm 1 (``compress_roas``) plus an
+  optimal-compression extension.
+* :mod:`repro.core.minimal` — minimal-ROA conversion (§6/§7 scenarios).
+* :mod:`repro.core.vulnerability` — forged-origin subprefix hijack
+  classification (§4, §6).
+* :mod:`repro.core.bounds` — maximally-permissive lower bound (§6).
+* :mod:`repro.core.pipeline` — the Figure 1 local-cache pipeline.
+"""
+
+from ..rpki.vrp import Vrp
+from .bounds import lower_bound_pdu_count, maximally_permissive_vrps
+from .compress import (
+    CompressionStats,
+    build_tries,
+    compress_trie,
+    compress_vrps,
+    compress_vrps_optimal,
+)
+from .minimal import (
+    OriginPair,
+    additional_prefix_count,
+    build_origin_index,
+    minimal_roa_for,
+    to_minimal_vrps,
+)
+from .pipeline import LocalCache
+from .recommend import (
+    Finding,
+    FindingCode,
+    RoaReview,
+    Severity,
+    lint_roa,
+    lint_roas,
+)
+from .vulnerability import (
+    VulnerabilityReport,
+    analyze_vrps,
+    announced_count_under,
+    hijackable_prefixes,
+    is_minimal,
+    is_vulnerable,
+)
+
+__all__ = [
+    "CompressionStats",
+    "Finding",
+    "FindingCode",
+    "LocalCache",
+    "RoaReview",
+    "Severity",
+    "lint_roa",
+    "lint_roas",
+    "OriginPair",
+    "Vrp",
+    "VulnerabilityReport",
+    "additional_prefix_count",
+    "analyze_vrps",
+    "announced_count_under",
+    "build_origin_index",
+    "build_tries",
+    "compress_trie",
+    "compress_vrps",
+    "compress_vrps_optimal",
+    "hijackable_prefixes",
+    "is_minimal",
+    "is_vulnerable",
+    "lower_bound_pdu_count",
+    "maximally_permissive_vrps",
+    "minimal_roa_for",
+    "to_minimal_vrps",
+]

@@ -1,0 +1,5 @@
+"""Pure-Python cryptography for the simulated RPKI (RSA + SHA-256)."""
+
+from .rsa import RsaPrivateKey, RsaPublicKey, SignatureError, generate_keypair
+
+__all__ = ["RsaPrivateKey", "RsaPublicKey", "SignatureError", "generate_keypair"]

@@ -1,0 +1,172 @@
+"""Pure-Python RSA signatures (PKCS#1 v1.5 over SHA-256).
+
+The RPKI signs every object (certificates, ROAs, manifests) with RSA.
+This environment has no crypto libraries, so we implement the needed
+subset from first principles:
+
+* probabilistic prime generation (Miller–Rabin with fixed rounds plus a
+  small-prime sieve),
+* RSA key generation (e = 65537),
+* EMSA-PKCS1-v1_5 encoding with the SHA-256 DigestInfo header,
+* sign / verify primitives.
+
+Keys default to 1024 bits — far too small for production, plenty for a
+simulation where the adversary model is "forged BGP announcements", not
+factoring.  Key generation accepts a seeded :class:`random.Random` so
+test fixtures are deterministic.
+
+Security note: this module is for the reproduction's *simulated* PKI
+only.  Do not use it to protect real data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from ..netbase.errors import ValidationError
+
+__all__ = ["RsaPrivateKey", "RsaPublicKey", "generate_keypair", "SignatureError"]
+
+
+class SignatureError(ValidationError):
+    """A signature failed to verify or could not be produced."""
+
+
+# SHA-256 DigestInfo prefix from RFC 8017 §9.2.
+_SHA256_DIGEST_INFO = bytes.fromhex("3031300d060960864801650304020105000420")
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def _is_probable_prime(candidate: int, rng: random.Random, rounds: int = 24) -> bool:
+    """Miller–Rabin primality test."""
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate % prime == 0:
+            return candidate == prime
+    # Write candidate - 1 as d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = rng.randrange(2, candidate - 1)
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime of exactly ``bits`` bits."""
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # exact width, odd
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key (n, e)."""
+
+    modulus: int
+    exponent: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """True iff ``signature`` is a valid PKCS#1 v1.5/SHA-256 signature."""
+        if len(signature) != self.byte_length:
+            return False
+        value = int.from_bytes(signature, "big")
+        if value >= self.modulus:
+            return False
+        decoded = pow(value, self.exponent, self.modulus)
+        recovered = decoded.to_bytes(self.byte_length, "big")
+        expected = _emsa_pkcs1_v15(message, self.byte_length)
+        return recovered == expected
+
+    def fingerprint(self) -> str:
+        """A stable hex identifier for the key (SHA-256 of n || e)."""
+        n_bytes = self.modulus.to_bytes(self.byte_length, "big")
+        e_bytes = self.exponent.to_bytes(4, "big")
+        return hashlib.sha256(n_bytes + e_bytes).hexdigest()
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """An RSA private key; ``public`` carries the matching public half."""
+
+    modulus: int
+    public_exponent: int
+    private_exponent: int
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return RsaPublicKey(self.modulus, self.public_exponent)
+
+    @property
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a PKCS#1 v1.5/SHA-256 signature over ``message``."""
+        encoded = _emsa_pkcs1_v15(message, self.byte_length)
+        value = int.from_bytes(encoded, "big")
+        signature = pow(value, self.private_exponent, self.modulus)
+        return signature.to_bytes(self.byte_length, "big")
+
+
+def _emsa_pkcs1_v15(message: bytes, em_length: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding (RFC 8017 §9.2) with SHA-256."""
+    digest = hashlib.sha256(message).digest()
+    t = _SHA256_DIGEST_INFO + digest
+    if em_length < len(t) + 11:
+        raise SignatureError("intended encoded message length too short")
+    padding = b"\xff" * (em_length - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def generate_keypair(bits: int = 1024, rng: random.Random | None = None) -> RsaPrivateKey:
+    """Generate an RSA keypair with public exponent 65537.
+
+    Args:
+        bits: modulus size; halved per prime.
+        rng: seeded source for deterministic fixtures; defaults to a
+            fresh SystemRandom-seeded generator.
+    """
+    if bits < 512:
+        raise SignatureError(f"modulus of {bits} bits is below the supported minimum")
+    if rng is None:
+        rng = random.Random(random.SystemRandom().getrandbits(64))
+    e = 65537
+    while True:
+        p = _generate_prime(bits // 2, rng)
+        q = _generate_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        if n.bit_length() != bits:
+            continue
+        return RsaPrivateKey(modulus=n, public_exponent=e, private_exponent=d)

@@ -1,0 +1,129 @@
+"""Synthetic AS-level Internet topologies.
+
+The paper's attack-effectiveness claims (§4/§5, via [16]) are judged on
+an Internet-like AS graph.  Real evaluations use CAIDA's inferred
+topology; offline, we generate one with the same gross structure:
+
+* a small clique of tier-1 ASes, fully meshed with peering;
+* a middle tier of transit providers, multi-homed to tier-1s/each
+  other with preferential attachment (heavy-tailed customer degrees);
+* a large fringe of stub ASes (the vast majority, as in the real
+  Internet) multi-homed to 1–3 providers;
+* extra peering edges among mid-tier ASes.
+
+The construction keeps the customer→provider relation acyclic by
+attaching every new AS below existing ones, so Gao–Rexford propagation
+is well-defined.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..bgp.topology import AsTopology
+
+__all__ = ["TopologyProfile", "generate_topology"]
+
+
+@dataclass(frozen=True)
+class TopologyProfile:
+    """Knobs for :func:`generate_topology`.
+
+    Attributes:
+        ases: total number of ASes.
+        tier1: size of the fully-meshed top clique.
+        transit_fraction: share of ASes (beyond tier-1) that sell
+            transit; the rest are stubs.
+        peering_fraction: extra peer edges among transit ASes, as a
+            fraction of the transit population.
+        max_providers: providers per multi-homed AS are drawn from
+            1..max_providers (weighted toward fewer).
+    """
+
+    ases: int = 1000
+    tier1: int = 5
+    transit_fraction: float = 0.15
+    peering_fraction: float = 0.5
+    max_providers: int = 3
+
+    def __post_init__(self) -> None:
+        if self.ases < self.tier1 + 2:
+            raise ValueError("need more ASes than the tier-1 clique")
+        if not 0 <= self.transit_fraction <= 1:
+            raise ValueError("transit_fraction must be in [0, 1]")
+
+
+def generate_topology(
+    profile: TopologyProfile = TopologyProfile(),
+    rng: random.Random | None = None,
+) -> AsTopology:
+    """Generate a synthetic AS topology per ``profile``.
+
+    AS numbers are 1..profile.ases, assigned top-down: 1..tier1 are the
+    clique, then transit ASes, then stubs — convenient for picking
+    victims/attackers by role in experiments.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    topology = AsTopology()
+
+    tier1 = list(range(1, profile.tier1 + 1))
+    for asn in tier1:
+        topology.add_as(asn)
+    for index, left in enumerate(tier1):
+        for right in tier1[index + 1:]:
+            topology.add_peering(left, right)
+
+    transit_count = int((profile.ases - profile.tier1) * profile.transit_fraction)
+    transit_start = profile.tier1 + 1
+    transit = list(range(transit_start, transit_start + transit_count))
+    stubs = list(range(transit_start + transit_count, profile.ases + 1))
+
+    # Preferential attachment: an AS's chance of being picked as a
+    # provider grows with the customers it already has.
+    attachment: list[int] = list(tier1)
+
+    def pick_providers(candidates: list[int], count: int) -> set[int]:
+        chosen: set[int] = set()
+        attempts = 0
+        while len(chosen) < count and attempts < 50 * count:
+            chosen.add(rng.choice(candidates))
+            attempts += 1
+        return chosen
+
+    for asn in transit:
+        topology.add_as(asn)
+        provider_count = rng.choices(
+            range(1, profile.max_providers + 1),
+            weights=[2**-(k - 1) for k in range(1, profile.max_providers + 1)],
+        )[0]
+        for provider in pick_providers(attachment, provider_count):
+            topology.add_customer_provider(asn, provider)
+            attachment.append(provider)  # reinforce popular providers
+        attachment.append(asn)  # transit ASes can now attract customers
+
+    for asn in stubs:
+        topology.add_as(asn)
+        provider_count = rng.choices(
+            range(1, profile.max_providers + 1),
+            weights=[4**-(k - 1) for k in range(1, profile.max_providers + 1)],
+        )[0]
+        for provider in pick_providers(attachment, provider_count):
+            topology.add_customer_provider(asn, provider)
+            attachment.append(provider)
+
+    # Sprinkle mid-tier peering.
+    peer_edges = int(len(transit) * profile.peering_fraction)
+    placed = 0
+    attempts = 0
+    while placed < peer_edges and attempts < 50 * max(peer_edges, 1):
+        attempts += 1
+        if len(transit) < 2:
+            break
+        left, right = rng.sample(transit, 2)
+        if left in topology.neighbors_of(right):
+            continue
+        topology.add_peering(left, right)
+        placed += 1
+
+    return topology

@@ -1,0 +1,53 @@
+"""Heavy-tailed random helpers for the synthetic-Internet generators.
+
+The real Internet's per-AS statistics (prefixes originated, customer
+degrees) are famously heavy-tailed; these helpers wrap the stdlib
+``random`` module with capped Pareto draws and weighted categorical
+picks so generator code stays readable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+__all__ = ["capped_pareto_int", "geometric_int", "weighted_choice"]
+
+T = TypeVar("T")
+
+
+def capped_pareto_int(
+    rng: random.Random, alpha: float, cap: int, minimum: int = 1
+) -> int:
+    """An integer ``minimum + floor(Pareto(alpha) - 1)``, capped.
+
+    ``alpha`` close to 1 gives a very fat tail (a few huge values);
+    larger alphas concentrate near ``minimum``.
+    """
+    value = minimum + int(rng.paretovariate(alpha) - 1.0)
+    return min(value, cap)
+
+
+def geometric_int(
+    rng: random.Random, mean: float, cap: int, minimum: int = 1
+) -> int:
+    """A geometric draw with the given mean, starting at ``minimum``.
+
+    Far lighter-tailed than Pareto: suitable for populations whose
+    aggregate statistics must be stable at small sample sizes (e.g.
+    ROA sizes in a scaled-down snapshot).
+    """
+    if mean <= minimum:
+        return minimum
+    success = 1.0 / (mean - minimum + 1.0)
+    count = minimum
+    while count < cap and rng.random() > success:
+        count += 1
+    return count
+
+
+def weighted_choice(
+    rng: random.Random, items: Sequence[T], weights: Sequence[float]
+) -> T:
+    """One draw from a categorical distribution."""
+    return rng.choices(items, weights=weights, k=1)[0]

@@ -1,0 +1,79 @@
+"""Weekly dataset series: the timeline behind Figure 3.
+
+The paper aggregates ROAs and BGP advertisements weekly from
+2017-04-13 to 2017-06-01 (eight snapshots) and plots every scenario's
+PDU count along that timeline.  We reproduce the series with one
+generator run per week: each week has its own seed (so the series
+wiggles like real measurements) and a gentle growth trend in both the
+routing table and RPKI adoption (the real table grew ≈0.2%/week; RPKI
+contents a bit faster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .internet import GeneratorConfig, InternetSnapshot, generate_snapshot
+
+__all__ = ["WEEKLY_LABELS", "SeriesConfig", "generate_weekly_series"]
+
+#: The paper's eight dataset dates (Figure 3's x axis).
+WEEKLY_LABELS = (
+    "2017-04-13",
+    "2017-04-20",
+    "2017-04-27",
+    "2017-05-04",
+    "2017-05-11",
+    "2017-05-18",
+    "2017-05-25",
+    "2017-06-01",
+)
+
+
+@dataclass(frozen=True)
+class SeriesConfig:
+    """Knobs for the weekly series.
+
+    Attributes:
+        base: generator configuration for the final (6/1) week; earlier
+            weeks shrink from it.
+        table_growth_per_week: weekly growth of the BGP table.
+        rpki_growth_per_week: weekly growth of RPKI adoption.
+    """
+
+    base: GeneratorConfig = GeneratorConfig()
+    table_growth_per_week: float = 0.002
+    rpki_growth_per_week: float = 0.006
+
+
+def generate_weekly_series(
+    config: SeriesConfig = SeriesConfig(),
+) -> list[InternetSnapshot]:
+    """Generate the eight weekly snapshots, oldest first."""
+    snapshots = []
+    final_week = len(WEEKLY_LABELS) - 1
+    for week, label in enumerate(WEEKLY_LABELS):
+        weeks_back = final_week - week
+        table_factor = (1.0 + config.table_growth_per_week) ** -weeks_back
+        rpki_factor = (1.0 + config.rpki_growth_per_week) ** -weeks_back
+        base = config.base
+        # The scale field multiplies *every* scaled count, adopters
+        # included, so adopter populations are compensated to grow at
+        # the RPKI rate rather than the table rate.
+        relative = rpki_factor / table_factor
+        week_config = base.at_scale(
+            base.scale * table_factor,
+            label=label,
+            seed=base.seed + week,
+            adopters_exact=round(base.adopters_exact * relative),
+            adopters_sibling_enum=round(base.adopters_sibling_enum * relative),
+            adopters_ml_loose_scatter=round(
+                base.adopters_ml_loose_scatter * relative
+            ),
+            adopters_ml_loose_cover=round(
+                base.adopters_ml_loose_cover * relative
+            ),
+            adopters_ml_tight=round(base.adopters_ml_tight * relative),
+        )
+        snapshots.append(generate_snapshot(week_config))
+    return snapshots

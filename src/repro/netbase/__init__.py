@@ -1,0 +1,53 @@
+"""Network primitives: prefixes, AS numbers, tries, radix trees.
+
+This subpackage is dependency-free (standard library only) and provides
+the value types everything else is built on.
+"""
+
+from .asnum import (
+    AS_TRANS,
+    MAX_ASN,
+    format_asn,
+    is_private_asn,
+    is_reserved_asn,
+    parse_asn,
+    validate_asn,
+)
+from .errors import (
+    AsnError,
+    PrefixError,
+    PrefixLengthError,
+    PrefixParseError,
+    ReproError,
+    TrieError,
+    ValidationError,
+)
+from .prefix import AF_INET, AF_INET6, Prefix
+from .prefixset import PrefixSet, aggregate
+from .radix import RadixTree
+from .trie import PrefixTrie, TrieNode
+
+__all__ = [
+    "AF_INET",
+    "AF_INET6",
+    "AS_TRANS",
+    "MAX_ASN",
+    "AsnError",
+    "Prefix",
+    "PrefixError",
+    "PrefixLengthError",
+    "PrefixParseError",
+    "PrefixSet",
+    "PrefixTrie",
+    "RadixTree",
+    "ReproError",
+    "TrieError",
+    "TrieNode",
+    "ValidationError",
+    "aggregate",
+    "format_asn",
+    "is_private_asn",
+    "is_reserved_asn",
+    "parse_asn",
+    "validate_asn",
+]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PrefixError",
+    "PrefixParseError",
+    "PrefixLengthError",
+    "AsnError",
+    "TrieError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PrefixError(ReproError, ValueError):
+    """Base class for IP-prefix related errors."""
+
+
+class PrefixParseError(PrefixError):
+    """A textual prefix could not be parsed.
+
+    Attributes:
+        text: the offending input string.
+    """
+
+    def __init__(self, text: str, reason: str = "") -> None:
+        self.text = text
+        message = f"invalid prefix {text!r}"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+
+
+class PrefixLengthError(PrefixError):
+    """A prefix length or maxLength is out of range for the address family."""
+
+
+class AsnError(ReproError, ValueError):
+    """An AS number is malformed or out of the 32-bit range."""
+
+
+class TrieError(ReproError):
+    """An invariant of a prefix trie was violated."""
+
+
+class ValidationError(ReproError):
+    """An RPKI object failed validation (signature, resources, encoding)."""

@@ -1,0 +1,158 @@
+"""Sets of IP prefixes with covering-aware operations.
+
+:class:`PrefixSet` is a thin but convenient layer over a pair of radix
+trees (IPv4 + IPv6).  The RPKI analysis code uses it everywhere a bag of
+prefixes must answer "is this announced?", "what covers this?", or
+"aggregate these".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from .prefix import AF_INET, AF_INET6, Prefix
+from .radix import RadixTree
+
+__all__ = ["PrefixSet", "aggregate"]
+
+
+class PrefixSet:
+    """A mutable set of :class:`Prefix` values (both address families).
+
+    Beyond plain membership, it answers the covering queries that RPKI
+    semantics are built from:
+
+    * :meth:`covers` — is some member a covering prefix of ``p``?
+    * :meth:`most_specific_cover` — longest-prefix match.
+    * :meth:`covered_by` — members inside ``p``.
+    """
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()) -> None:
+        self._trees = {
+            AF_INET: RadixTree[bool](AF_INET),
+            AF_INET6: RadixTree[bool](AF_INET6),
+        }
+        self._size = 0
+        for prefix in prefixes:
+            self.add(prefix)
+
+    # ------------------------------------------------------------------
+    # Set protocol
+    # ------------------------------------------------------------------
+
+    def add(self, prefix: Prefix) -> None:
+        tree = self._trees[prefix.family]
+        if prefix not in tree:
+            tree.insert(prefix, True)
+            self._size += 1
+
+    def discard(self, prefix: Prefix) -> None:
+        if self._trees[prefix.family].remove(prefix):
+            self._size -= 1
+
+    def update(self, prefixes: Iterable[Prefix]) -> None:
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._trees[prefix.family]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Prefix]:
+        for family in (AF_INET, AF_INET6):
+            yield from self._trees[family].keys()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrefixSet):
+            return NotImplemented
+        return len(self) == len(other) and all(p in other for p in self)
+
+    def __repr__(self) -> str:
+        return f"PrefixSet({len(self)} prefixes)"
+
+    # ------------------------------------------------------------------
+    # Covering queries
+    # ------------------------------------------------------------------
+
+    def covers(self, prefix: Prefix) -> bool:
+        """True if some member covers ``prefix`` (including equality)."""
+        return self._trees[prefix.family].longest_match(prefix) is not None
+
+    def covers_properly(self, prefix: Prefix) -> bool:
+        """True if some member is a strict covering prefix of ``prefix``."""
+        return any(
+            member.length < prefix.length
+            for member, _ in self._trees[prefix.family].covering(prefix)
+        )
+
+    def most_specific_cover(self, prefix: Prefix) -> Optional[Prefix]:
+        """Longest member covering ``prefix``, or None."""
+        match = self._trees[prefix.family].longest_match(prefix)
+        return match[0] if match is not None else None
+
+    def covering(self, prefix: Prefix) -> Iterator[Prefix]:
+        """All members covering ``prefix``, shortest first."""
+        for member, _ in self._trees[prefix.family].covering(prefix):
+            yield member
+
+    def covered_by(self, prefix: Prefix) -> Iterator[Prefix]:
+        """All members covered by ``prefix`` (inclusive)."""
+        for member, _ in self._trees[prefix.family].covered(prefix):
+            yield member
+
+    def ipv4(self) -> Iterator[Prefix]:
+        yield from self._trees[AF_INET].keys()
+
+    def ipv6(self) -> Iterator[Prefix]:
+        yield from self._trees[AF_INET6].keys()
+
+
+def aggregate(prefixes: Iterable[Prefix]) -> list[Prefix]:
+    """Aggregate a prefix collection into its minimal equivalent cover.
+
+    Two transformations are applied until fixpoint:
+
+    1. drop any prefix covered by another member;
+    2. merge sibling pairs into their parent.
+
+    The result covers exactly the same address space with the fewest
+    prefixes.  (Note this is *route* aggregation, not the paper's PDU
+    compression — aggregation changes the authorized set of prefix
+    lengths, so it must never be applied to ROA tuples; see
+    :mod:`repro.core.compress` for the lossless variant.)
+    """
+    # Sort by (family, value, length): ancestors come right before
+    # descendants, so one pass removes covered members.
+    unique = sorted(set(prefixes))
+    kept: list[Prefix] = []
+    for prefix in unique:
+        if kept and kept[-1].covers(prefix):
+            continue
+        kept.append(prefix)
+
+    # Iteratively merge sibling pairs.  Each merge can enable another at
+    # the parent level, so loop until stable.
+    merged = True
+    current = kept
+    while merged:
+        merged = False
+        result: list[Prefix] = []
+        index = 0
+        while index < len(current):
+            prefix = current[index]
+            if (
+                index + 1 < len(current)
+                and prefix.length > 0
+                and current[index + 1] == prefix.sibling()
+                and prefix.is_left_child()
+            ):
+                result.append(prefix.parent())
+                index += 2
+                merged = True
+            else:
+                result.append(prefix)
+                index += 1
+        current = result
+    return current

@@ -1,0 +1,92 @@
+"""RPKI publication points and the global repository.
+
+Each CA publishes its products — child CA certificates, signed ROAs, a
+manifest, and a CRL — at a publication point (in the real RPKI, an
+rsync/RRDP URI).  A relying party "downloads" the complete set of
+publication points and validates them bottom-up.
+
+We model a publication point as a name→bytes store (the bytes are real
+DER produced by the object classes), and the repository as a collection
+of publication points keyed by CA name.  This mirrors Figure 1 of the
+paper: repositories feed the local cache, which feeds routers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["ObjectKind", "PublishedObject", "PublicationPoint", "Repository"]
+
+
+class ObjectKind:
+    """File-type tags, mirroring the real RPKI's file extensions."""
+
+    CERTIFICATE = "cer"
+    ROA = "roa"
+    MANIFEST = "mft"
+    CRL = "crl"
+
+
+@dataclass(frozen=True)
+class PublishedObject:
+    """A named blob at a publication point."""
+
+    name: str
+    kind: str
+    data: bytes
+
+
+@dataclass
+class PublicationPoint:
+    """One CA's publication directory."""
+
+    authority: str
+    _objects: dict[str, PublishedObject] = field(default_factory=dict)
+
+    def publish(self, name: str, kind: str, data: bytes) -> None:
+        """Add or replace an object."""
+        self._objects[name] = PublishedObject(name, kind, data)
+
+    def withdraw(self, name: str) -> bool:
+        """Remove an object; True if it existed."""
+        return self._objects.pop(name, None) is not None
+
+    def get(self, name: str) -> Optional[PublishedObject]:
+        return self._objects.get(name)
+
+    def objects(self, kind: Optional[str] = None) -> Iterator[PublishedObject]:
+        """All objects, optionally filtered by kind, in name order."""
+        for name in sorted(self._objects):
+            obj = self._objects[name]
+            if kind is None or obj.kind == kind:
+                yield obj
+
+    def names(self) -> list[str]:
+        return sorted(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+class Repository:
+    """The union of all publication points, keyed by CA name."""
+
+    def __init__(self) -> None:
+        self._points: dict[str, PublicationPoint] = {}
+
+    def point_for(self, authority: str) -> PublicationPoint:
+        """The publication point for a CA, created on first use."""
+        if authority not in self._points:
+            self._points[authority] = PublicationPoint(authority)
+        return self._points[authority]
+
+    def points(self) -> Iterator[PublicationPoint]:
+        for authority in sorted(self._points):
+            yield self._points[authority]
+
+    def total_objects(self) -> int:
+        return sum(len(point) for point in self._points.values())
+
+    def __contains__(self, authority: str) -> bool:
+        return authority in self._points

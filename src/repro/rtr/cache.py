@@ -1,0 +1,207 @@
+"""The RTR cache server — the "local cache" half of Figure 1.
+
+A small threaded TCP server: each router connection gets a reader
+thread; Reset Query streams the full VRP set, Serial Query streams an
+incremental diff when history allows (Cache Reset otherwise), and
+:meth:`RtrCacheServer.update` pushes a new VRP set and wakes every
+connected router with Serial Notify.
+
+Threads (rather than asyncio) keep the server usable from synchronous
+test and benchmark code; the protocol work per connection is trivial.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Iterable, Optional
+
+from ..rpki.vrp import Vrp
+from .pdu import (
+    CacheResetPdu,
+    CacheResponsePdu,
+    EndOfDataPdu,
+    ErrorReportPdu,
+    Pdu,
+    PduError,
+    ResetQueryPdu,
+    SerialNotifyPdu,
+    SerialQueryPdu,
+    decode_stream,
+    encode_pdu,
+    vrp_to_pdu,
+)
+from .session import CacheState
+
+__all__ = ["RtrCacheServer"]
+
+
+class RtrCacheServer:
+    """Serves a :class:`CacheState` over RPKI-to-Router.
+
+    Use as a context manager::
+
+        with RtrCacheServer(initial_vrps) as server:
+            client = RtrClient("127.0.0.1", server.port)
+            ...
+
+    Attributes:
+        port: the bound TCP port (an ephemeral port by default).
+        state: the underlying serial/VRP database.
+    """
+
+    def __init__(
+        self,
+        initial: Iterable[Vrp] = (),
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        session_id: int = 1,
+    ) -> None:
+        self.state = CacheState(session_id)
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._connections: list[socket.socket] = []
+        self._lock = threading.RLock()
+        self._closed = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        if initial:
+            self.state.update(initial)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "RtrCacheServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="rtr-cache-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            for connection in self._connections:
+                try:
+                    connection.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                connection.close()
+            self._connections.clear()
+
+    def __enter__(self) -> "RtrCacheServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Data updates
+    # ------------------------------------------------------------------
+
+    def update(self, vrps: Iterable[Vrp]) -> None:
+        """Install a new VRP set and notify every connected router."""
+        with self._lock:
+            diff = self.state.update(vrps)
+            if diff.empty:
+                return
+            notify = encode_pdu(
+                SerialNotifyPdu(self.state.session_id, self.state.serial)
+            )
+            for connection in list(self._connections):
+                try:
+                    connection.sendall(notify)
+                except OSError:
+                    self._drop(connection)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                connection, _address = self._listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                self._connections.append(connection)
+            worker = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="rtr-cache-conn",
+                daemon=True,
+            )
+            worker.start()
+
+    def _drop(self, connection: socket.socket) -> None:
+        with self._lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+        connection.close()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        buffer = b""
+        try:
+            while not self._closed.is_set():
+                try:
+                    chunk = connection.recv(65536)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                buffer += chunk
+                try:
+                    pdus, buffer = decode_stream(buffer)
+                except PduError as exc:
+                    connection.sendall(encode_pdu(ErrorReportPdu(
+                        ErrorReportPdu.CORRUPT_DATA, text=str(exc))))
+                    break
+                for pdu in pdus:
+                    self._handle(connection, pdu)
+        finally:
+            self._drop(connection)
+
+    def _handle(self, connection: socket.socket, pdu: Pdu) -> None:
+        with self._lock:
+            if isinstance(pdu, ResetQueryPdu):
+                self._send_full(connection)
+            elif isinstance(pdu, SerialQueryPdu):
+                self._send_incremental(connection, pdu)
+            else:
+                connection.sendall(encode_pdu(ErrorReportPdu(
+                    ErrorReportPdu.UNSUPPORTED_PDU,
+                    text=f"cache cannot handle {type(pdu).__name__}")))
+
+    def _send_full(self, connection: socket.socket) -> None:
+        parts = [encode_pdu(CacheResponsePdu(self.state.session_id))]
+        for vrp in sorted(self.state.vrps):
+            parts.append(encode_pdu(vrp_to_pdu(vrp, announce=True)))
+        parts.append(encode_pdu(
+            EndOfDataPdu(self.state.session_id, self.state.serial)))
+        connection.sendall(b"".join(parts))
+
+    def _send_incremental(
+        self, connection: socket.socket, query: SerialQueryPdu
+    ) -> None:
+        if query.session_id != self.state.session_id:
+            connection.sendall(encode_pdu(CacheResetPdu()))
+            return
+        diffs = self.state.diff_since(query.serial)
+        if diffs is None:
+            connection.sendall(encode_pdu(CacheResetPdu()))
+            return
+        net = self.state.flatten_diffs(diffs)
+        parts = [encode_pdu(CacheResponsePdu(self.state.session_id))]
+        for vrp in net.announced:
+            parts.append(encode_pdu(vrp_to_pdu(vrp, announce=True)))
+        for vrp in net.withdrawn:
+            parts.append(encode_pdu(vrp_to_pdu(vrp, announce=False)))
+        parts.append(encode_pdu(
+            EndOfDataPdu(self.state.session_id, self.state.serial)))
+        connection.sendall(b"".join(parts))

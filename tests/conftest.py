@@ -1,0 +1,64 @@
+"""Shared fixtures: a small synthetic Internet, a topology, an RPKI tree.
+
+Session scope keeps the expensive generation (snapshot, key material)
+to one run per test session; tests must treat these as read-only.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp.topology import AsTopology
+from repro.data.asgraph import TopologyProfile, generate_topology
+from repro.data.internet import GeneratorConfig, InternetSnapshot, generate_snapshot
+from repro.netbase import Prefix
+
+
+@pytest.fixture(scope="session")
+def small_snapshot() -> InternetSnapshot:
+    """A 2%-scale Internet: ~15k BGP pairs, ~900 VRPs."""
+    return generate_snapshot(GeneratorConfig(scale=0.02, seed=20170601))
+
+
+@pytest.fixture(scope="session")
+def tiny_snapshot() -> InternetSnapshot:
+    """A 0.5%-scale Internet for the heavier per-test analyses."""
+    return generate_snapshot(GeneratorConfig(scale=0.005, seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> AsTopology:
+    """A 400-AS synthetic topology."""
+    return generate_topology(
+        TopologyProfile(ases=400, tier1=4, transit_fraction=0.15),
+        random.Random(11),
+    )
+
+
+@pytest.fixture()
+def example_prefix() -> Prefix:
+    """The paper's running example prefix (BU's /16)."""
+    return Prefix.parse("168.122.0.0/16")
+
+
+@pytest.fixture(scope="session")
+def chain_topology() -> AsTopology:
+    """The small hand-built topology used in deterministic attack tests.
+
+    ::
+
+             1 ===== 2          (tier-1 peers)
+            / \\       \\
+          10   20      30       (transit)
+          |     |      |
+         111   666     40       (stubs; 111 victim, 666 attacker)
+    """
+    topology = AsTopology()
+    topology.add_peering(1, 2)
+    for customer, provider in [
+        (10, 1), (20, 1), (30, 2), (111, 10), (666, 20), (40, 30),
+    ]:
+        topology.add_customer_provider(customer, provider)
+    return topology

@@ -1,0 +1,131 @@
+"""Tests for attack scenarios: the §4/§5 comparisons, deterministic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp import (
+    AttackKind,
+    AttackScenario,
+    VrpIndex,
+    evaluate_attack,
+)
+from repro.netbase import Prefix
+from repro.netbase.errors import ReproError
+from repro.rpki import Vrp
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+P16 = p("168.122.0.0/16")
+P24 = p("168.122.0.0/24")
+
+#: the non-minimal ROA of §4: (168.122.0.0/16-24, AS 111)
+LOOSE = VrpIndex([Vrp(P16, 24, 111)])
+#: the minimal ROA of §5: (168.122.0.0/16, AS 111)
+MINIMAL = VrpIndex([Vrp(P16, 16, 111)])
+
+
+class TestScenarioConstruction:
+    def test_forged_origin_seed_includes_victim(self):
+        scenario = AttackScenario(
+            AttackKind.FORGED_ORIGIN_SUBPREFIX, 111, 666, P16, P24
+        )
+        assert scenario.attacker_seed().path == (666, 111)
+        assert scenario.is_subprefix_attack
+
+    def test_plain_hijack_seed_is_attacker_only(self):
+        scenario = AttackScenario(AttackKind.SUBPREFIX_HIJACK, 111, 666, P16, P24)
+        assert scenario.attacker_seed().path == (666,)
+
+    def test_attack_prefix_must_be_covered(self):
+        with pytest.raises(ReproError):
+            AttackScenario(
+                AttackKind.SUBPREFIX_HIJACK, 111, 666, P16, p("9.9.9.0/24")
+            )
+
+
+class TestPaperClaims:
+    """§4/§5 of the paper, quantified on the fixture topology."""
+
+    def test_subprefix_hijack_without_rpki_captures_everything(
+        self, chain_topology
+    ):
+        scenario = AttackScenario(AttackKind.SUBPREFIX_HIJACK, 111, 666, P16, P24)
+        outcome = evaluate_attack(chain_topology, scenario)
+        assert outcome.attacker_fraction == 1.0
+
+    def test_rpki_stops_plain_subprefix_hijack(self, chain_topology):
+        """§2: with any covering ROA, the hijack announcement is invalid."""
+        scenario = AttackScenario(AttackKind.SUBPREFIX_HIJACK, 111, 666, P16, P24)
+        outcome = evaluate_attack(chain_topology, scenario, vrp_index=MINIMAL)
+        assert outcome.attacker_fraction == 0.0
+        assert outcome.victim_fraction == 1.0
+        assert outcome.attack_route_filtered
+
+    def test_forged_origin_subprefix_beats_nonminimal_roa(self, chain_topology):
+        """§4: the attack is as bad as an unprotected subprefix hijack."""
+        scenario = AttackScenario(
+            AttackKind.FORGED_ORIGIN_SUBPREFIX, 111, 666, P16, P24
+        )
+        outcome = evaluate_attack(chain_topology, scenario, vrp_index=LOOSE)
+        assert outcome.attacker_fraction == 1.0
+        assert not outcome.attack_route_filtered
+
+    def test_minimal_roa_stops_forged_origin_subprefix(self, chain_topology):
+        """§5: with a minimal ROA the hijacker's /24 is invalid."""
+        scenario = AttackScenario(
+            AttackKind.FORGED_ORIGIN_SUBPREFIX, 111, 666, P16, P24
+        )
+        outcome = evaluate_attack(chain_topology, scenario, vrp_index=MINIMAL)
+        assert outcome.attacker_fraction == 0.0
+        assert outcome.attack_route_filtered
+
+    def test_fallback_same_prefix_attack_splits_traffic(self, chain_topology):
+        """§5: "they must attack the whole /16" — and then traffic splits."""
+        scenario = AttackScenario(AttackKind.FORGED_ORIGIN, 111, 666, P16, P16)
+        outcome = evaluate_attack(chain_topology, scenario, vrp_index=MINIMAL)
+        assert 0.0 < outcome.attacker_fraction < 1.0
+        assert outcome.victim_fraction > outcome.attacker_fraction
+
+    def test_attack_ordering_on_random_topology(self, small_topology):
+        """The §4/§5 ordering must hold on a larger random graph too."""
+        rng = random.Random(4)
+        stubs = sorted(small_topology.stub_ases())
+        victim, attacker = rng.sample(stubs, 2)
+        loose = VrpIndex([Vrp(P16, 24, victim)])
+        minimal = VrpIndex([Vrp(P16, 16, victim)])
+
+        forged_sub = AttackScenario(
+            AttackKind.FORGED_ORIGIN_SUBPREFIX, victim, attacker, P16, P24
+        )
+        forged_same = AttackScenario(
+            AttackKind.FORGED_ORIGIN, victim, attacker, P16, P16
+        )
+        sub_loose = evaluate_attack(small_topology, forged_sub, vrp_index=loose)
+        sub_minimal = evaluate_attack(small_topology, forged_sub, vrp_index=minimal)
+        same_minimal = evaluate_attack(
+            small_topology, forged_same, vrp_index=minimal
+        )
+        assert sub_loose.attacker_fraction == 1.0
+        assert sub_minimal.attacker_fraction == 0.0
+        assert same_minimal.attacker_fraction < sub_loose.attacker_fraction
+
+    def test_outcome_fractions_sum_to_one(self, chain_topology):
+        scenario = AttackScenario(AttackKind.FORGED_ORIGIN, 111, 666, P16, P16)
+        outcome = evaluate_attack(chain_topology, scenario, vrp_index=MINIMAL)
+        total = (
+            outcome.attacker_fraction
+            + outcome.victim_fraction
+            + outcome.disconnected_fraction
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_str_is_readable(self, chain_topology):
+        scenario = AttackScenario(AttackKind.FORGED_ORIGIN, 111, 666, P16, P16)
+        outcome = evaluate_attack(chain_topology, scenario, vrp_index=MINIMAL)
+        assert "forged-origin" in str(outcome)

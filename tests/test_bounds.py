@@ -1,0 +1,112 @@
+"""Tests for the maximally-permissive lower bound (§6)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import lower_bound_pdu_count, maximally_permissive_vrps
+from repro.netbase import AF_INET, Prefix
+from repro.rpki import Vrp
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestMaximallyPermissive:
+    def test_independent_pairs_all_kept(self):
+        announced = [(p("10.0.0.0/16"), 1), (p("11.0.0.0/16"), 2)]
+        vrps = maximally_permissive_vrps(announced)
+        assert len(vrps) == 2
+        assert all(v.max_length == 32 for v in vrps)
+
+    def test_covered_same_as_removed(self):
+        """§6: a covering announcement's /32-maxLength VRP subsumes the
+        same AS's subprefix announcements."""
+        announced = [
+            (p("10.0.0.0/16"), 1),
+            (p("10.0.1.0/24"), 1),
+            (p("10.0.0.0/17"), 1),
+        ]
+        vrps = maximally_permissive_vrps(announced)
+        assert vrps == [Vrp(p("10.0.0.0/16"), 32, 1)]
+
+    def test_covered_other_as_kept(self):
+        announced = [(p("10.0.0.0/16"), 1), (p("10.0.1.0/24"), 2)]
+        assert len(maximally_permissive_vrps(announced)) == 2
+
+    def test_ipv6_gets_128(self):
+        vrps = maximally_permissive_vrps([(p("2a00::/32"), 1)])
+        assert vrps == [Vrp(p("2a00::/32"), 128, 1)]
+
+    def test_duplicate_pairs_counted_once(self):
+        announced = [(p("10.0.0.0/16"), 1)] * 4
+        assert lower_bound_pdu_count(announced) == 1
+
+    def test_nested_chain_keeps_only_root(self):
+        announced = [
+            (p("10.0.0.0/8"), 1),
+            (p("10.0.0.0/16"), 1),
+            (p("10.0.0.0/24"), 1),
+            (p("10.128.0.0/9"), 1),
+        ]
+        assert lower_bound_pdu_count(announced) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**16 - 1),
+                st.integers(min_value=8, max_value=24),
+                st.sampled_from([1, 2, 3]),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_matches_bruteforce(self, raw):
+        announced = []
+        for value, length, asn in raw:
+            announced.append((Prefix(AF_INET, value << 16, length), asn))
+        unique = set(announced)
+        expected = sum(
+            1
+            for prefix, asn in unique
+            if not any(
+                other.covers_properly(prefix)
+                for other, other_asn in unique
+                if other_asn == asn
+            )
+        )
+        assert lower_bound_pdu_count(unique) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=8, max_value=24),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_bound_authorizes_everything_announced(self, raw):
+        announced = {(Prefix(AF_INET, v << 24, l), 9) for v, l in raw}
+        vrps = maximally_permissive_vrps(announced)
+        for prefix, asn in announced:
+            assert any(v.matches(prefix, asn) for v in vrps)
+
+    def test_bound_never_exceeds_pair_count(self, tiny_snapshot):
+        pairs = tiny_snapshot.announced_set
+        bound = lower_bound_pdu_count(pairs)
+        assert bound <= len(pairs)
+
+    def test_bound_is_true_lower_bound_for_compression(self, tiny_snapshot):
+        """No lossless scheme can beat it: compress_vrps >= bound."""
+        from repro.core import compress_vrps
+
+        pairs = tiny_snapshot.announced_set
+        full = [Vrp(q, q.length, a) for q, a in pairs]
+        assert len(compress_vrps(full)) >= lower_bound_pdu_count(pairs)

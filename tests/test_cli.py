@@ -1,0 +1,121 @@
+"""Tests for the repro-roa command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import read_vrp_csv, write_origin_pairs, write_vrp_csv
+from repro.netbase import Prefix
+from repro.rpki import Vrp
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+@pytest.fixture()
+def dataset(tmp_path):
+    vrps = [
+        Vrp(p("10.0.0.0/16"), 24, 1),
+        Vrp(p("10.1.0.0/16"), 16, 1),
+        Vrp(p("10.1.0.0/17"), 17, 1),
+        Vrp(p("10.1.128.0/17"), 17, 1),
+    ]
+    announced = [
+        (p("10.0.0.0/16"), 1),
+        (p("10.0.5.0/24"), 1),
+        (p("10.1.0.0/16"), 1),
+    ]
+    vrp_path = tmp_path / "vrps.csv"
+    rib_path = tmp_path / "rib.txt"
+    write_vrp_csv(vrps, vrp_path)
+    write_origin_pairs(announced, rib_path)
+    return vrp_path, rib_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ["compress", "minimal", "analyze", "generate",
+                        "table1", "figure3", "rtr-serve"]:
+            assert parser.parse_args(
+                [command] + {
+                    "compress": ["x.csv"],
+                    "minimal": ["x.csv", "y.txt"],
+                    "analyze": ["x.csv", "y.txt"],
+                    "generate": ["--out-dir", "/tmp/x"],
+                    "table1": [],
+                    "figure3": [],
+                    "rtr-serve": ["x.csv"],
+                }[command]
+            ).command == command
+
+
+class TestCompressCommand:
+    def test_compress_to_file(self, dataset, tmp_path, capsys):
+        vrp_path, _ = dataset
+        out = tmp_path / "out.csv"
+        assert main(["compress", str(vrp_path), "-o", str(out)]) == 0
+        compressed = list(read_vrp_csv(out))
+        # the /16 + two /17 pyramid merges; the loose /16-24 is untouched
+        assert Vrp(p("10.1.0.0/16"), 17, 1) in compressed
+        assert len(compressed) == 2
+        assert "compress_roas" in capsys.readouterr().err
+
+    def test_compress_to_stdout(self, dataset, capsys):
+        vrp_path, _ = dataset
+        assert main(["compress", str(vrp_path)]) == 0
+        assert "IP Prefix" in capsys.readouterr().out
+
+
+class TestMinimalCommand:
+    def test_minimal_conversion(self, dataset, tmp_path):
+        vrp_path, rib_path = dataset
+        out = tmp_path / "minimal.csv"
+        assert main(["minimal", str(vrp_path), str(rib_path), "-o", str(out)]) == 0
+        minimal = list(read_vrp_csv(out))
+        assert all(not v.uses_max_length for v in minimal)
+        assert Vrp(p("10.0.5.0/24"), 24, 1) in minimal
+
+
+class TestAnalyzeCommand:
+    def test_prints_section6_numbers(self, dataset, capsys):
+        vrp_path, rib_path = dataset
+        assert main(["analyze", str(vrp_path), str(rib_path)]) == 0
+        out = capsys.readouterr().out
+        assert "maxLength" in out
+        assert "vulnerable" in out
+
+
+class TestGenerateAndTable1:
+    def test_generate_writes_both_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "snap"
+        assert main(["generate", "--scale", "0.002", "--out-dir", str(out_dir)]) == 0
+        assert (out_dir / "vrps.csv").exists()
+        assert (out_dir / "rib.txt").exists()
+
+    def test_table1_from_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "snap"
+        main(["generate", "--scale", "0.002", "--out-dir", str(out_dir)])
+        capsys.readouterr()
+        assert main([
+            "table1",
+            "--vrps", str(out_dir / "vrps.csv"),
+            "--rib", str(out_dir / "rib.txt"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Today (compressed)" in out
+        assert "lower bound" in out
+
+    def test_table1_requires_rib_with_vrps(self, dataset, capsys):
+        vrp_path, _ = dataset
+        assert main(["table1", "--vrps", str(vrp_path)]) == 2
+
+    def test_table1_synthetic(self, capsys):
+        assert main(["table1", "--scale", "0.002"]) == 0
+        assert "Full deployment" in capsys.readouterr().out

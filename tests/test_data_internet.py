@@ -1,0 +1,111 @@
+"""Tests for the calibrated synthetic-Internet generator.
+
+The calibration assertions check *shape* against the paper's 2017-06-01
+dataset with generous bands (the generator is stochastic and the test
+snapshot is small); exact targets live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp import ValidationState, VrpIndex
+from repro.core import analyze_vrps, compress_vrps, lower_bound_pdu_count, to_minimal_vrps
+from repro.data import GeneratorConfig, generate_snapshot
+from repro.netbase import AF_INET, AF_INET6
+from repro.rpki import Vrp
+
+
+class TestDeterminism:
+    def test_same_seed_same_snapshot(self):
+        config = GeneratorConfig(scale=0.003, seed=5)
+        a = generate_snapshot(config)
+        b = generate_snapshot(config)
+        assert a.announced == b.announced
+        assert a.roas == b.roas
+
+    def test_different_seeds_differ(self):
+        a = generate_snapshot(GeneratorConfig(scale=0.003, seed=5))
+        b = generate_snapshot(GeneratorConfig(scale=0.003, seed=6))
+        assert a.announced != b.announced
+
+
+class TestStructure:
+    def test_scaling_is_roughly_linear(self):
+        small = generate_snapshot(GeneratorConfig(scale=0.004, seed=1))
+        large = generate_snapshot(GeneratorConfig(scale=0.016, seed=1))
+        ratio = len(large.announced) / len(small.announced)
+        assert 2.0 <= ratio <= 8.0
+
+    def test_both_families_present(self, small_snapshot):
+        assert any(p.family == AF_INET for p, _ in small_snapshot.announced)
+        assert any(p.family == AF_INET6 for p, _ in small_snapshot.announced)
+
+    def test_allocations_do_not_overlap_across_ases(self, tiny_snapshot):
+        """Synthetic allocations are disjoint, so a covering prefix of a
+        different origin is a deliberate misconfiguration, not noise."""
+        by_prefix = {}
+        for prefix, asn in tiny_snapshot.announced:
+            by_prefix.setdefault(prefix, set()).add(asn)
+        # each prefix should have exactly one origin
+        multi_origin = [p for p, asns in by_prefix.items() if len(asns) > 1]
+        assert len(multi_origin) < len(by_prefix) * 0.01
+
+    def test_vrps_are_deduplicated_and_sorted(self, small_snapshot):
+        vrps = small_snapshot.vrps
+        assert vrps == sorted(set(vrps))
+
+    def test_adopters_recorded(self, small_snapshot):
+        assert len(small_snapshot.adopter_ases) == len(small_snapshot.roas)
+
+    def test_no_announcement_longer_than_24_or_48(self, small_snapshot):
+        for prefix, _asn in small_snapshot.announced:
+            limit = 24 if prefix.family == AF_INET else 48
+            assert prefix.length <= limit
+
+    def test_invalid_routes_exist(self, small_snapshot):
+        """The misconfig generator must produce RPKI-invalid routes."""
+        index = VrpIndex(small_snapshot.vrps)
+        invalid = sum(
+            1
+            for prefix, origin in small_snapshot.announced
+            if index.validate(prefix, origin) is ValidationState.INVALID
+        )
+        assert invalid > 0
+
+    def test_repr(self, tiny_snapshot):
+        assert "pairs" in repr(tiny_snapshot)
+
+
+class TestCalibration:
+    """§6/§7 shape checks; paper values in brackets."""
+
+    def test_maxlength_fraction(self, small_snapshot):
+        report = analyze_vrps(small_snapshot.vrps, small_snapshot.announced)
+        assert 0.06 <= report.maxlength_fraction <= 0.18  # [0.116]
+
+    def test_vulnerable_fraction(self, small_snapshot):
+        report = analyze_vrps(small_snapshot.vrps, small_snapshot.announced)
+        assert report.vulnerable_fraction_of_maxlength >= 0.70  # [0.84]
+
+    def test_status_quo_compression(self, small_snapshot):
+        vrps = small_snapshot.vrps
+        ratio = 1 - len(compress_vrps(vrps)) / len(vrps)
+        assert 0.10 <= ratio <= 0.22  # [0.159]
+
+    def test_minimal_conversion_grows_tuples(self, small_snapshot):
+        vrps = small_snapshot.vrps
+        minimal = to_minimal_vrps(vrps, small_snapshot.announced)
+        growth = len(minimal) / len(vrps) - 1
+        assert 0.15 <= growth <= 0.60  # [0.32]
+
+    def test_full_deployment_compression_near_bound(self, small_snapshot):
+        pairs = small_snapshot.announced_set
+        full = [Vrp(q, q.length, a) for q, a in pairs]
+        compressed = len(compress_vrps(full))
+        bound = lower_bound_pdu_count(pairs)
+        achieved = 1 - compressed / len(full)
+        maximum = 1 - bound / len(full)
+        assert 0.04 <= achieved <= 0.09   # [0.0604]
+        assert 0.04 <= maximum <= 0.095   # [0.0612]
+        assert 0 <= (maximum - achieved) <= 0.004  # gap [~0.0008]

@@ -1,0 +1,100 @@
+"""Tests for the partial-deployment sweep and CAIDA topology I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.analysis import run_deployment_sweep
+from repro.bgp import AsTopology, Relationship
+from repro.data import CaidaFormatError, read_caida, write_caida
+
+
+class TestDeploymentSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, small_topology):
+        return run_deployment_sweep(
+            small_topology,
+            fractions=(0.0, 0.5, 1.0),
+            samples=6,
+            seed=3,
+        )
+
+    def test_no_validation_no_protection(self, sweep):
+        zero = sweep.points[0]
+        assert zero.validating_fraction == 0.0
+        assert zero.subprefix_hijack > 0.95
+        assert zero.forged_subprefix_vs_minimal > 0.95
+
+    def test_full_validation_full_protection_for_stoppable_attacks(self, sweep):
+        full = sweep.points[-1]
+        assert full.subprefix_hijack == 0.0
+        assert full.forged_subprefix_vs_minimal == 0.0
+
+    def test_nonminimal_roa_never_helped_by_validation(self, sweep):
+        """The paper's core point as a flat line: against a non-minimal
+        ROA the forged-origin subprefix announcement is *valid*, so no
+        amount of validation deployment blocks it."""
+        for point in sweep.points:
+            assert point.forged_subprefix_vs_nonminimal > 0.95
+
+    def test_protection_monotone_in_deployment(self, sweep):
+        captures = [point.subprefix_hijack for point in sweep.points]
+        assert captures[0] >= captures[1] >= captures[2]
+
+    def test_render(self, sweep):
+        text = sweep.render()
+        assert "validating" in text
+        assert text.count("%") >= 9
+
+
+class TestCaidaFormat:
+    def test_round_trip(self, chain_topology):
+        buffer = io.StringIO()
+        count = write_caida(chain_topology, buffer)
+        assert count == chain_topology.edge_count()
+        buffer.seek(0)
+        recovered = read_caida(buffer)
+        assert sorted(recovered.edges()) == sorted(chain_topology.edges())
+
+    def test_round_trip_file(self, small_topology, tmp_path):
+        path = tmp_path / "rel.txt"
+        write_caida(small_topology, path)
+        recovered = read_caida(path)
+        assert recovered.ases == small_topology.ases
+        assert sorted(recovered.edges()) == sorted(small_topology.edges())
+
+    def test_read_real_format_sample(self):
+        text = (
+            "# inferred from BGP tables\n"
+            "3356|111|-1\n"
+            "3356|1299|0\n"
+        )
+        topology = read_caida(io.StringIO(text))
+        assert topology.relationship(3356, 111) is Relationship.CUSTOMER
+        assert topology.relationship(3356, 1299) is Relationship.PEER
+
+    def test_bad_relationship_code(self):
+        with pytest.raises(CaidaFormatError, match="line 1"):
+            read_caida(io.StringIO("1|2|7\n"))
+
+    def test_bad_fields(self):
+        with pytest.raises(CaidaFormatError):
+            read_caida(io.StringIO("1|2\n"))
+        with pytest.raises(CaidaFormatError):
+            read_caida(io.StringIO("a|b|-1\n"))
+
+    def test_simulation_runs_on_loaded_topology(self, small_topology, tmp_path):
+        """End to end: serialize, reload, and propagate routes."""
+        from repro.bgp import Seed, propagate_prefix
+        from repro.netbase import Prefix
+
+        path = tmp_path / "rel.txt"
+        write_caida(small_topology, path)
+        loaded = read_caida(path)
+        origin = max(loaded.stub_ases())
+        routes = propagate_prefix(
+            loaded, Prefix.parse("10.0.0.0/16"), [Seed.origin(origin)]
+        )
+        assert len(routes) == len(loaded)

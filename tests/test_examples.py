@@ -1,0 +1,93 @@
+"""Smoke tests: every example script must run clean end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "forged-origin subprefix hijack" in result.stdout
+        assert "87.254.32.0/19-20 => AS31283" in result.stdout
+
+    def test_hijack_study(self):
+        result = run_example("hijack_study.py", "--ases", "200", "--samples", "3")
+        assert result.returncode == 0, result.stderr
+        assert "captures 100.0%" in result.stdout
+        assert "captures 0.0%" in result.stdout
+
+    def test_local_cache_pipeline(self):
+        result = run_example("local_cache_pipeline.py")
+        assert result.returncode == 0, result.stderr
+        assert "router synced" in result.stdout
+        assert "valid because of maxLength" in result.stdout
+        assert "blocked: the ROA is minimal" in result.stdout
+
+    def test_measurement_study(self, tmp_path):
+        result = run_example(
+            "measurement_study.py", "--scale", "0.002",
+            "--out-dir", str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Table 1" in result.stdout
+        assert (tmp_path / "vrps.csv").exists()
+        assert (tmp_path / "rib.txt").exists()
+
+    def test_roa_lint_curated(self):
+        result = run_example("roa_lint.py")
+        assert result.returncode == 0, result.stderr
+        assert "suggested replacement" in result.stdout
+        assert "clean: minimal and fully announced" in result.stdout
+
+    def test_roa_lint_synthetic(self):
+        result = run_example("roa_lint.py", "--scale", "0.002")
+        assert result.returncode == 0, result.stderr
+        assert "ROAs" in result.stdout
+        assert "vulnerable / broken" in result.stdout
+
+
+class TestCliLint:
+    def test_lint_reports_and_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data import write_origin_pairs, write_vrp_csv
+        from repro.netbase import Prefix
+        from repro.rpki import Vrp
+
+        vrp_path = tmp_path / "vrps.csv"
+        rib_path = tmp_path / "rib.txt"
+        write_vrp_csv([Vrp(Prefix.parse("10.0.0.0/16"), 24, 1)], vrp_path)
+        write_origin_pairs([(Prefix.parse("10.0.0.0/16"), 1)], rib_path)
+        code = main(["lint", str(vrp_path), str(rib_path)])
+        captured = capsys.readouterr()
+        assert code == 1  # vulnerabilities found
+        assert "forged-origin" in captured.out
+        assert "1 with vulnerabilities" in captured.err
+
+    def test_lint_clean_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data import write_origin_pairs, write_vrp_csv
+        from repro.netbase import Prefix
+        from repro.rpki import Vrp
+
+        vrp_path = tmp_path / "vrps.csv"
+        rib_path = tmp_path / "rib.txt"
+        write_vrp_csv([Vrp(Prefix.parse("10.0.0.0/16"), 16, 1)], vrp_path)
+        write_origin_pairs([(Prefix.parse("10.0.0.0/16"), 1)], rib_path)
+        assert main(["lint", str(vrp_path), str(rib_path)]) == 0

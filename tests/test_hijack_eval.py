@@ -1,0 +1,49 @@
+"""Tests for the attack-effectiveness study (E7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_hijack_study
+from repro.bgp import AsTopology
+
+
+class TestHijackStudy:
+    @pytest.fixture(scope="class")
+    def result(self, small_topology):
+        return run_hijack_study(small_topology, samples=12, seed=1)
+
+    def test_paper_ordering_of_attacks(self, result):
+        """The §4/§5 hierarchy of attack effectiveness."""
+        # Forged-origin subprefix vs non-minimal ROA is as strong as an
+        # unprotected subprefix hijack...
+        assert result.forged_subprefix_nonminimal == pytest.approx(
+            result.subprefix_no_rpki, abs=0.02
+        )
+        # ...a minimal ROA kills it completely...
+        assert result.forged_subprefix_minimal == 0.0
+        # ...forcing the attacker down to the same-prefix variant,
+        # where the majority of traffic stays on the legitimate route.
+        assert result.forged_origin_minimal < 0.5
+
+    def test_subprefix_hijack_captures_nearly_all(self, result):
+        assert result.subprefix_no_rpki > 0.95
+
+    def test_same_prefix_attack_still_captures_something(self, result):
+        assert result.forged_origin_minimal > 0.0
+
+    def test_deterministic_given_seed(self, small_topology):
+        a = run_hijack_study(small_topology, samples=5, seed=9)
+        b = run_hijack_study(small_topology, samples=5, seed=9)
+        assert a == b
+
+    def test_summary_lines(self, result):
+        text = "\n".join(result.summary_lines())
+        assert "non-minimal" in text
+        assert "12 (victim, attacker) pairs" in text
+
+    def test_tiny_topology_rejected(self):
+        topo = AsTopology()
+        topo.add_customer_provider(2, 1)
+        with pytest.raises(ValueError):
+            run_hijack_study(topo, samples=1)

@@ -1,0 +1,130 @@
+"""Integration tests for the Figure 1 local-cache pipeline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp import ValidationState, VrpIndex
+from repro.core import LocalCache
+from repro.netbase import Prefix
+from repro.rpki import (
+    CertificateAuthority,
+    Repository,
+    Roa,
+    RoaPrefix,
+    Vrp,
+)
+from repro.rtr import RtrClient
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+@pytest.fixture(scope="module")
+def rpki_world():
+    """TA -> BU hierarchy with the paper's ROA, published and signed."""
+    rng = random.Random(3)
+    repository = Repository()
+    ta = CertificateAuthority.create_trust_anchor(
+        "TA", repository, ip_resources=(p("0.0.0.0/0"),), rng=rng, now=500
+    )
+    bu = ta.issue_child("BU", ip_resources=(p("168.122.0.0/16"),))
+    bu.issue_roa(Roa(111, [RoaPrefix(p("168.122.0.0/16"), 24)]))
+    bu.issue_roa(
+        Roa(111, [RoaPrefix(p("168.122.32.0/19")),
+                  RoaPrefix(p("168.122.32.0/20")),
+                  RoaPrefix(p("168.122.48.0/20")),
+                  RoaPrefix(p("168.122.32.0/21"))])
+    )
+    ta.publish_tree()
+    return repository, ta
+
+
+class TestRefresh:
+    def test_crypto_path_produces_pdus(self, rpki_world):
+        repository, ta = rpki_world
+        cache = LocalCache()
+        run = cache.refresh_from_repository(repository, [ta.certificate], now=500)
+        assert run.ok
+        assert len(cache.pdus) == 5
+        assert Vrp(p("168.122.0.0/16"), 24, 111) in cache.pdus
+
+    def test_compressing_cache_shrinks_pdus(self, rpki_world):
+        repository, ta = rpki_world
+        plain = LocalCache()
+        plain.refresh_from_repository(repository, [ta.certificate], now=500)
+        compressing = LocalCache(compress=True)
+        compressing.refresh_from_repository(repository, [ta.certificate], now=500)
+        # Figure 2's four tuples compress to two; the /16-24 stays.
+        assert len(compressing.pdus) == 3 < len(plain.pdus)
+        stats = compressing.compression_stats()
+        assert stats.before == 5 and stats.after == 3
+
+    def test_vrp_fast_path(self):
+        cache = LocalCache(compress=True)
+        cache.refresh_from_vrps(
+            [
+                Vrp(p("10.0.0.0/16"), 16, 1),
+                Vrp(p("10.0.0.0/17"), 17, 1),
+                Vrp(p("10.0.128.0/17"), 17, 1),
+            ]
+        )
+        assert cache.pdus == [Vrp(p("10.0.0.0/16"), 17, 1)]
+
+
+class TestEndToEnd:
+    def test_repository_to_router_origin_validation(self, rpki_world):
+        """Figure 1 complete: repository -> cache -> RTR -> router -> RFC 6811."""
+        repository, ta = rpki_world
+        with LocalCache(compress=True) as cache:
+            cache.refresh_from_repository(repository, [ta.certificate], now=500)
+            server = cache.serve()
+            with RtrClient(server.host, server.port) as router:
+                router.sync()
+                index = VrpIndex(router.vrps)
+                # the paper's §4 judgment, now through the full stack:
+                assert index.validate(p("168.122.0.0/24"), 111) is ValidationState.VALID
+                assert index.validate(p("168.122.0.0/24"), 666) is ValidationState.INVALID
+                assert index.validate(p("168.122.0.0/25"), 111) is ValidationState.INVALID
+                assert index.validate(p("9.9.9.0/24"), 666) is ValidationState.NOTFOUND
+
+    def test_compression_is_invisible_to_routers(self, rpki_world):
+        """Drop-in property (§7.1): routers validate identically with
+        and without compress_roas in the pipeline."""
+        repository, ta = rpki_world
+        verdicts = []
+        for compress in (False, True):
+            with LocalCache(compress=compress) as cache:
+                cache.refresh_from_repository(repository, [ta.certificate], now=500)
+                server = cache.serve()
+                with RtrClient(server.host, server.port) as router:
+                    router.sync()
+                    index = VrpIndex(router.vrps)
+                    verdicts.append(
+                        [
+                            index.validate(p(text), asn)
+                            for text, asn in [
+                                ("168.122.0.0/16", 111),
+                                ("168.122.32.0/20", 111),
+                                ("168.122.40.0/21", 111),
+                                ("168.122.32.0/21", 666),
+                                ("168.122.64.0/20", 111),
+                            ]
+                        ]
+                    )
+        assert verdicts[0] == verdicts[1]
+
+    def test_refresh_pushes_update_to_connected_router(self):
+        with LocalCache() as cache:
+            cache.refresh_from_vrps([Vrp(p("10.0.0.0/16"), 16, 1)])
+            server = cache.serve()
+            with RtrClient(server.host, server.port) as router:
+                router.sync()
+                assert router.vrps == {Vrp(p("10.0.0.0/16"), 16, 1)}
+                cache.refresh_from_vrps([Vrp(p("11.0.0.0/16"), 16, 2)])
+                router.wait_for_notify()
+                router.sync()
+                assert router.vrps == {Vrp(p("11.0.0.0/16"), 16, 2)}

@@ -1,0 +1,140 @@
+"""Tests for PrefixSet and route aggregation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netbase import AF_INET, Prefix, PrefixSet, aggregate
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestPrefixSet:
+    def test_membership(self):
+        ps = PrefixSet([p("10.0.0.0/8")])
+        assert p("10.0.0.0/8") in ps
+        assert p("10.0.0.0/16") not in ps
+        assert len(ps) == 1
+
+    def test_mixed_families(self):
+        ps = PrefixSet([p("10.0.0.0/8"), p("2001:db8::/32")])
+        assert len(ps) == 2
+        assert set(ps.ipv4()) == {p("10.0.0.0/8")}
+        assert set(ps.ipv6()) == {p("2001:db8::/32")}
+
+    def test_add_idempotent(self):
+        ps = PrefixSet()
+        ps.add(p("10.0.0.0/8"))
+        ps.add(p("10.0.0.0/8"))
+        assert len(ps) == 1
+
+    def test_discard(self):
+        ps = PrefixSet([p("10.0.0.0/8")])
+        ps.discard(p("10.0.0.0/8"))
+        ps.discard(p("10.0.0.0/8"))  # second discard is a no-op
+        assert len(ps) == 0
+
+    def test_covers_and_most_specific(self):
+        ps = PrefixSet([p("10.0.0.0/8"), p("10.1.0.0/16")])
+        assert ps.covers(p("10.1.2.0/24"))
+        assert ps.most_specific_cover(p("10.1.2.0/24")) == p("10.1.0.0/16")
+        assert ps.most_specific_cover(p("10.2.0.0/24")) == p("10.0.0.0/8")
+        assert ps.most_specific_cover(p("11.0.0.0/24")) is None
+
+    def test_covers_properly(self):
+        ps = PrefixSet([p("10.0.0.0/16")])
+        assert not ps.covers_properly(p("10.0.0.0/16"))
+        assert ps.covers_properly(p("10.0.0.0/24"))
+
+    def test_covering_iteration(self):
+        ps = PrefixSet([p("10.0.0.0/8"), p("10.0.0.0/16")])
+        assert [str(c) for c in ps.covering(p("10.0.0.0/24"))] == [
+            "10.0.0.0/8",
+            "10.0.0.0/16",
+        ]
+
+    def test_covered_by(self):
+        ps = PrefixSet([p("10.0.0.0/16"), p("10.0.1.0/24"), p("11.0.0.0/8")])
+        assert set(ps.covered_by(p("10.0.0.0/8"))) == {
+            p("10.0.0.0/16"),
+            p("10.0.1.0/24"),
+        }
+
+    def test_equality(self):
+        a = PrefixSet([p("10.0.0.0/8"), p("2001:db8::/32")])
+        b = PrefixSet([p("2001:db8::/32"), p("10.0.0.0/8")])
+        assert a == b
+        b.add(p("11.0.0.0/8"))
+        assert a != b
+
+    def test_iteration_sorted_within_family(self):
+        ps = PrefixSet([p("11.0.0.0/8"), p("10.0.0.0/8"), p("10.0.0.0/16")])
+        listed = list(ps)
+        assert listed == sorted(listed)
+
+
+class TestAggregate:
+    def test_sibling_merge(self):
+        assert aggregate([p("10.0.0.0/24"), p("10.0.1.0/24")]) == [p("10.0.0.0/23")]
+
+    def test_non_siblings_not_merged(self):
+        # 10.0.1.0/24 and 10.0.2.0/24 are adjacent but not siblings
+        result = aggregate([p("10.0.1.0/24"), p("10.0.2.0/24")])
+        assert result == [p("10.0.1.0/24"), p("10.0.2.0/24")]
+
+    def test_covered_dropped(self):
+        assert aggregate([p("10.0.0.0/8"), p("10.1.0.0/16")]) == [p("10.0.0.0/8")]
+
+    def test_cascading_merge(self):
+        quarters = list(p("10.0.0.0/16").subprefixes(18))
+        assert aggregate(quarters) == [p("10.0.0.0/16")]
+
+    def test_duplicates_collapse(self):
+        assert aggregate([p("10.0.0.0/8"), p("10.0.0.0/8")]) == [p("10.0.0.0/8")]
+
+    def test_empty(self):
+        assert aggregate([]) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=24, max_value=32),
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    def test_aggregation_preserves_address_coverage(self, entries):
+        base = p("192.0.2.0/24")
+        prefixes = []
+        for offset, length in entries:
+            step = 1 << (32 - length)
+            prefixes.append(
+                Prefix(
+                    AF_INET,
+                    base.value + (offset % (1 << (length - 24))) * step,
+                    length,
+                )
+            )
+        result = aggregate(prefixes)
+
+        def covered_addresses(collection):
+            covered = set()
+            for prefix in collection:
+                covered.update(
+                    range(prefix.first_address(), prefix.last_address() + 1)
+                )
+            return covered
+
+        assert covered_addresses(result) == covered_addresses(prefixes)
+        # result must be irredundant: no member covers another
+        for a in result:
+            for b in result:
+                if a is not b:
+                    assert not a.covers(b)

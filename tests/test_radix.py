@@ -1,0 +1,200 @@
+"""Tests for the Patricia radix tree (repro.netbase.radix)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netbase import AF_INET, AF_INET6, Prefix, RadixTree
+from repro.netbase.errors import TrieError
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = RadixTree[int](AF_INET)
+        assert len(tree) == 0
+        assert tree.get(p("10.0.0.0/8")) is None
+        assert tree.longest_match(p("10.0.0.0/8")) is None
+
+    def test_insert_and_get(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/8"), 1)
+        assert tree.get(p("10.0.0.0/8")) == 1
+        assert p("10.0.0.0/8") in tree
+        assert len(tree) == 1
+
+    def test_overwrite_same_key(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/8"), 1)
+        tree.insert(p("10.0.0.0/8"), 2)
+        assert tree.get(p("10.0.0.0/8")) == 2
+        assert len(tree) == 1
+
+    def test_insert_ancestor_after_descendant(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.1.0.0/16"), 16)
+        tree.insert(p("10.0.0.0/8"), 8)
+        assert tree.get(p("10.0.0.0/8")) == 8
+        assert tree.get(p("10.1.0.0/16")) == 16
+
+    def test_diverging_keys_create_glue(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/24"), 1)
+        tree.insert(p("10.0.1.0/24"), 2)
+        # the glue node (10.0.0.0/23) must not appear as a value
+        assert tree.get(p("10.0.0.0/23")) is None
+        assert sorted(str(k) for k in tree.keys()) == [
+            "10.0.0.0/24",
+            "10.0.1.0/24",
+        ]
+
+    def test_family_check(self):
+        tree = RadixTree[int](AF_INET)
+        with pytest.raises(TrieError):
+            tree.insert(p("::/0"), 1)
+
+    def test_ipv6_keys(self):
+        tree = RadixTree[int](AF_INET6)
+        tree.insert(p("2001:db8::/32"), 1)
+        tree.insert(p("2001:db8:1::/48"), 2)
+        assert tree.longest_match(p("2001:db8:1::1/128"))[1] == 2
+        assert tree.longest_match(p("2001:db8:f::1/128"))[1] == 1
+
+
+class TestRemoval:
+    def test_remove_leaf(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/24"), 1)
+        assert tree.remove(p("10.0.0.0/24"))
+        assert len(tree) == 0
+        assert tree.get(p("10.0.0.0/24")) is None
+
+    def test_remove_missing_returns_false(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/24"), 1)
+        assert not tree.remove(p("10.0.1.0/24"))
+        assert not tree.remove(p("10.0.0.0/16"))
+
+    def test_remove_interior_value_keeps_descendants(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/8"), 8)
+        tree.insert(p("10.0.0.0/24"), 24)
+        tree.insert(p("10.0.1.0/24"), 24)
+        assert tree.remove(p("10.0.0.0/8"))
+        assert tree.get(p("10.0.0.0/24")) == 24
+        assert tree.get(p("10.0.1.0/24")) == 24
+        assert len(tree) == 2
+
+    def test_remove_then_reinsert(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/16"), 1)
+        tree.remove(p("10.0.0.0/16"))
+        tree.insert(p("10.0.0.0/16"), 2)
+        assert tree.get(p("10.0.0.0/16")) == 2
+
+
+class TestCoveringQueries:
+    def test_covering_shortest_first(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/8"), 8)
+        tree.insert(p("10.0.0.0/16"), 16)
+        tree.insert(p("10.0.0.0/24"), 24)
+        covering = [v for _k, v in tree.covering(p("10.0.0.0/32"))]
+        assert covering == [8, 16, 24]
+
+    def test_covering_includes_exact(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/24"), 24)
+        assert [v for _k, v in tree.covering(p("10.0.0.0/24"))] == [24]
+
+    def test_covered_enumeration(self):
+        tree = RadixTree[int](AF_INET)
+        for text in ["10.0.0.0/16", "10.0.1.0/24", "10.1.0.0/16", "11.0.0.0/8"]:
+            tree.insert(p(text), 0)
+        covered = {str(k) for k, _v in tree.covered(p("10.0.0.0/8"))}
+        assert covered == {"10.0.0.0/16", "10.0.1.0/24", "10.1.0.0/16"}
+
+    def test_covered_of_exact_leaf(self):
+        tree = RadixTree[int](AF_INET)
+        tree.insert(p("10.0.0.0/24"), 1)
+        assert [k for k, _ in tree.covered(p("10.0.0.0/24"))] == [p("10.0.0.0/24")]
+
+
+class TestAgainstBruteForce:
+    entries = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=4, max_value=32),
+        ),
+        min_size=1,
+        max_size=60,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(entries, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_longest_match(self, items, probe_value):
+        tree = RadixTree[int](AF_INET)
+        model: set[Prefix] = set()
+        for value, length in items:
+            prefix = Prefix(AF_INET, value, length)
+            tree.insert(prefix, length)
+            model.add(prefix)
+        probe = Prefix(AF_INET, probe_value, 32)
+        expected = max(
+            (m for m in model if m.covers(probe)),
+            key=lambda m: m.length,
+            default=None,
+        )
+        got = tree.longest_match(probe)
+        assert (got[0] if got else None) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(entries)
+    def test_items_complete_and_sorted(self, items):
+        tree = RadixTree[int](AF_INET)
+        model: set[Prefix] = set()
+        for value, length in items:
+            prefix = Prefix(AF_INET, value, length)
+            tree.insert(prefix, 0)
+            model.add(prefix)
+        listed = list(tree.keys())
+        assert listed == sorted(model)
+        assert len(tree) == len(model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(entries)
+    def test_covered_matches_bruteforce(self, items):
+        tree = RadixTree[int](AF_INET)
+        model: set[Prefix] = set()
+        for value, length in items:
+            prefix = Prefix(AF_INET, value, length)
+            tree.insert(prefix, 0)
+            model.add(prefix)
+        query = p("128.0.0.0/2")
+        got = {k for k, _ in tree.covered(query)}
+        assert got == {m for m in model if query.covers(m)}
+
+    @settings(max_examples=40, deadline=None)
+    @given(entries)
+    def test_random_removals_consistent(self, items):
+        tree = RadixTree[int](AF_INET)
+        model: dict[Prefix, int] = {}
+        for value, length in items:
+            prefix = Prefix(AF_INET, value, length)
+            tree.insert(prefix, length)
+            model[prefix] = length
+        rng = random.Random(3)
+        victims = rng.sample(sorted(model), k=len(model) // 2)
+        for victim in victims:
+            assert tree.remove(victim)
+            del model[victim]
+        assert sorted(tree.keys()) == sorted(model)
+        for key, value in model.items():
+            assert tree.get(key) == value

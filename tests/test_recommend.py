@@ -1,0 +1,172 @@
+"""Tests for the §8 recommendations engine (ROA lint)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Finding,
+    FindingCode,
+    Severity,
+    lint_roa,
+    lint_roas,
+)
+from repro.netbase import Prefix
+from repro.rpki import Roa, RoaPrefix
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestCleanRoas:
+    def test_minimal_fully_announced_roa_is_clean(self):
+        roa = Roa(111, [p("168.122.0.0/16"), p("168.122.225.0/24")])
+        announced = [(p("168.122.0.0/16"), 111), (p("168.122.225.0/24"), 111)]
+        review = lint_roa(roa, announced)
+        assert review.ok
+        assert not review.findings
+        assert review.suggested is None
+        assert review.severity is Severity.INFO
+        assert "clean" in review.render()
+
+    def test_tight_maxlength_fully_announced_is_clean(self):
+        roa = Roa(1, [RoaPrefix(p("10.0.0.0/16"), 17)])
+        announced = [
+            (p("10.0.0.0/16"), 1),
+            (p("10.0.0.0/17"), 1),
+            (p("10.0.128.0/17"), 1),
+        ]
+        review = lint_roa(roa, announced)
+        assert review.ok and not review.findings
+
+
+class TestVulnerableMaxlength:
+    def test_paper_example_flagged(self):
+        """§4's ROA: (168.122.0.0/16-24, AS 111) with sparse announcements."""
+        roa = Roa(111, [RoaPrefix(p("168.122.0.0/16"), 24)])
+        announced = [(p("168.122.0.0/16"), 111), (p("168.122.225.0/24"), 111)]
+        review = lint_roa(roa, announced)
+        assert not review.ok
+        codes = {finding.code for finding in review.findings}
+        assert FindingCode.VULNERABLE_MAXLENGTH in codes
+        assert review.severity is Severity.ERROR
+
+    def test_suggests_minimal_replacement(self):
+        roa = Roa(111, [RoaPrefix(p("168.122.0.0/16"), 24)])
+        announced = [(p("168.122.0.0/16"), 111), (p("168.122.225.0/24"), 111)]
+        review = lint_roa(roa, announced)
+        assert review.suggested == Roa(
+            111, [p("168.122.0.0/16"), p("168.122.225.0/24")]
+        )
+        assert not review.suggested.uses_max_length
+
+    def test_suggestion_is_compressed(self):
+        """The replacement uses Algorithm 1 so the operator pays no
+        unnecessary PDU penalty (§8's closing advice)."""
+        roa = Roa(1, [RoaPrefix(p("10.0.0.0/16"), 24)])
+        announced = [
+            (p("10.0.0.0/16"), 1),
+            (p("10.0.0.0/17"), 1),
+            (p("10.0.128.0/17"), 1),
+        ]
+        review = lint_roa(roa, announced)
+        assert review.suggested == Roa(1, [RoaPrefix(p("10.0.0.0/16"), 17)])
+
+    def test_gap_count_in_message(self):
+        roa = Roa(1, [RoaPrefix(p("10.0.0.0/24"), 25)])
+        announced = [(p("10.0.0.0/24"), 1), (p("10.0.0.0/25"), 1)]
+        review = lint_roa(roa, announced)
+        vulnerable = [f for f in review.findings
+                      if f.code is FindingCode.VULNERABLE_MAXLENGTH]
+        assert len(vulnerable) == 1
+        assert "1 unannounced" in vulnerable[0].message
+
+
+class TestOtherFindings:
+    def test_unused_entry(self):
+        roa = Roa(1, [p("10.0.0.0/16"), p("10.1.0.0/16")])
+        announced = [(p("10.0.0.0/16"), 1)]
+        review = lint_roa(roa, announced)
+        unused = [f for f in review.findings if f.code is FindingCode.UNUSED_ENTRY]
+        assert len(unused) == 1
+        assert unused[0].entry.prefix == p("10.1.0.0/16")
+        assert review.severity is Severity.WARNING
+
+    def test_redundant_entry(self):
+        roa = Roa(1, [RoaPrefix(p("10.0.0.0/16"), 24), RoaPrefix(p("10.0.1.0/24"))])
+        announced = [(p("10.0.0.0/16"), 1), (p("10.0.1.0/24"), 1)]
+        review = lint_roa(roa, announced)
+        redundant = [f for f in review.findings
+                     if f.code is FindingCode.REDUNDANT_ENTRY]
+        assert len(redundant) == 1
+        assert redundant[0].entry.prefix == p("10.0.1.0/24")
+
+    def test_wide_maxlength(self):
+        roa = Roa(1, [RoaPrefix(p("10.0.0.0/12"), 24)])
+        announced = [(p("10.0.0.0/12"), 1)]
+        review = lint_roa(roa, announced)
+        codes = {f.code for f in review.findings}
+        assert FindingCode.WIDE_MAXLENGTH in codes
+        assert FindingCode.VULNERABLE_MAXLENGTH in codes
+
+    def test_own_route_invalid(self):
+        """§3: de-aggregating past the ROA makes your own route invalid."""
+        roa = Roa(111, [RoaPrefix(p("168.122.0.0/16"))])
+        announced = [
+            (p("168.122.0.0/16"), 111),
+            (p("168.122.225.0/24"), 111),  # invalid under the exact ROA!
+        ]
+        review = lint_roa(roa, announced)
+        own = [f for f in review.findings
+               if f.code is FindingCode.OWN_ROUTE_INVALID]
+        assert len(own) == 1
+        assert "168.122.225.0/24" in own[0].message
+        assert not review.ok
+
+    def test_own_route_authorized_by_other_entry_not_flagged(self):
+        roa = Roa(111, [RoaPrefix(p("168.122.0.0/16")),
+                        RoaPrefix(p("168.122.225.0/24"))])
+        announced = [
+            (p("168.122.0.0/16"), 111),
+            (p("168.122.225.0/24"), 111),
+        ]
+        review = lint_roa(roa, announced)
+        assert not any(f.code is FindingCode.OWN_ROUTE_INVALID
+                       for f in review.findings)
+
+
+class TestLintSnapshot:
+    def test_reviews_every_roa(self, tiny_snapshot):
+        reviews = lint_roas(tiny_snapshot.roas, tiny_snapshot.announced)
+        assert len(reviews) == len(tiny_snapshot.roas)
+
+    def test_flags_track_vulnerability_analysis(self, tiny_snapshot):
+        """Every maxLength-vulnerable VRP's ROA must carry an ERROR."""
+        from repro.core import build_origin_index, is_vulnerable
+
+        index = build_origin_index(tiny_snapshot.announced)
+        reviews = lint_roas(tiny_snapshot.roas, tiny_snapshot.announced)
+        for roa, review in zip(tiny_snapshot.roas, reviews):
+            has_vulnerable_vrp = any(
+                is_vulnerable(vrp, index) for vrp in roa.vrps()
+            )
+            if has_vulnerable_vrp:
+                assert review.severity is Severity.ERROR, roa
+
+    def test_suggestions_are_never_vulnerable(self, tiny_snapshot):
+        from repro.core import analyze_vrps
+
+        reviews = lint_roas(tiny_snapshot.roas, tiny_snapshot.announced)
+        suggested = [r.suggested for r in reviews if r.suggested is not None]
+        assert suggested, "expected some suggestions on the synthetic RPKI"
+        vrps = [vrp for roa in suggested for vrp in roa.vrps()]
+        report = analyze_vrps(vrps, tiny_snapshot.announced)
+        assert report.vulnerable_vrps == 0
+
+    def test_render_mentions_replacement(self):
+        roa = Roa(111, [RoaPrefix(p("168.122.0.0/16"), 24)])
+        announced = [(p("168.122.0.0/16"), 111)]
+        text = lint_roa(roa, announced).render()
+        assert "suggested replacement" in text
+        assert "ERROR" in text

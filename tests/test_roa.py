@@ -1,0 +1,170 @@
+"""Tests for ROA payloads and their RFC 6482 DER encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netbase import AF_INET, AF_INET6, Prefix
+from repro.netbase.errors import PrefixLengthError, ValidationError
+from repro.rpki import Roa, RoaPrefix, Vrp, scan_roa_payloads
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestRoaPrefix:
+    def test_effective_max_length_defaults_to_length(self):
+        entry = RoaPrefix(p("10.0.0.0/16"))
+        assert entry.effective_max_length == 16
+        assert not entry.uses_max_length
+
+    def test_explicit_maxlength(self):
+        entry = RoaPrefix(p("10.0.0.0/16"), 24)
+        assert entry.effective_max_length == 24
+        assert entry.uses_max_length
+
+    def test_equal_maxlength_is_not_use(self):
+        # RFC 6482 allows maxLength == length; semantically a no-op
+        assert not RoaPrefix(p("10.0.0.0/16"), 16).uses_max_length
+
+    def test_rejects_bad_maxlength(self):
+        with pytest.raises(PrefixLengthError):
+            RoaPrefix(p("10.0.0.0/16"), 8)
+        with pytest.raises(PrefixLengthError):
+            RoaPrefix(p("10.0.0.0/16"), 40)
+
+    def test_str_notation_matches_paper(self):
+        assert str(RoaPrefix(p("168.122.0.0/16"), 24)) == "168.122.0.0/16-24"
+        assert str(RoaPrefix(p("168.122.0.0/16"))) == "168.122.0.0/16"
+
+
+class TestRoa:
+    def test_paper_example_str(self):
+        roa = Roa(111, [RoaPrefix(p("168.122.0.0/16"), 24)])
+        assert str(roa) == "ROA:({168.122.0.0/16-24}, AS111)"
+
+    def test_prefix_set_roa(self):
+        roa = Roa(111, [p("168.122.0.0/16"), p("168.122.225.0/24")])
+        assert len(roa.prefixes) == 2
+        assert not roa.uses_max_length
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Roa(111, [])
+
+    def test_prefixes_sorted_deterministically(self):
+        roa = Roa(1, [p("10.1.0.0/16"), p("10.0.0.0/16")])
+        assert [str(e) for e in roa.prefixes] == ["10.0.0.0/16", "10.1.0.0/16"]
+
+    def test_authorizes_respects_maxlength(self):
+        roa = Roa(111, [RoaPrefix(p("168.122.0.0/16"), 24)])
+        assert roa.authorizes(p("168.122.1.0/24"), 111)
+        assert not roa.authorizes(p("168.122.1.0/25"), 111)
+        assert not roa.authorizes(p("168.122.1.0/24"), 666)
+
+    def test_vrps_extraction(self):
+        roa = Roa(
+            111,
+            [RoaPrefix(p("168.122.0.0/16"), 24), RoaPrefix(p("10.0.0.0/8"))],
+        )
+        assert roa.vrps() == [
+            Vrp(p("10.0.0.0/8"), 8, 111),
+            Vrp(p("168.122.0.0/16"), 24, 111),
+        ]
+
+    def test_covered_families(self):
+        roa = Roa(1, [p("10.0.0.0/8"), p("2001:db8::/32")])
+        assert roa.covered_families() == {AF_INET, AF_INET6}
+
+
+class TestEcontentCodec:
+    def test_round_trip_simple(self):
+        roa = Roa(111, [RoaPrefix(p("168.122.0.0/16"), 24)])
+        assert Roa.from_econtent(roa.to_econtent()) == roa
+
+    def test_round_trip_mixed_families(self):
+        roa = Roa(
+            64512,
+            [
+                RoaPrefix(p("87.254.32.0/19"), 21),
+                RoaPrefix(p("87.254.32.0/20")),
+                RoaPrefix(p("2a00::/12"), 32),
+            ],
+        )
+        assert Roa.from_econtent(roa.to_econtent()) == roa
+
+    def test_maxlength_absent_is_preserved(self):
+        # (p, None) and (p, len(p)) are semantically equal but encode
+        # differently; the codec must not conflate them.
+        with_explicit = Roa(1, [RoaPrefix(p("10.0.0.0/16"), 16)])
+        without = Roa(1, [RoaPrefix(p("10.0.0.0/16"))])
+        assert with_explicit.to_econtent() != without.to_econtent()
+        assert Roa.from_econtent(with_explicit.to_econtent()) == with_explicit
+        assert Roa.from_econtent(without.to_econtent()) == without
+
+    def test_v4_block_encodes_before_v6(self):
+        roa = Roa(1, [p("2a00::/12"), p("10.0.0.0/8")])
+        encoded = roa.to_econtent()
+        assert encoded.index(bytes([0x00, 0x01])) < encoded.index(bytes([0x00, 0x02]))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValidationError):
+            Roa.from_econtent(b"\x30\x03\x02\x01\x05")
+        with pytest.raises(ValidationError):
+            Roa.from_econtent(b"not der at all")
+
+    def test_version_zero_must_be_omitted(self):
+        # Manually build an encoding with an explicit version 0 tag.
+        from repro.asn1 import ContextTag, Integer, Sequence_, encode
+
+        bogus = encode(Sequence_([ContextTag(0, Integer(0)), Integer(1), Sequence_([])]))
+        with pytest.raises(ValidationError):
+            Roa.from_econtent(bogus)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=8, max_value=32),
+                st.integers(min_value=0, max_value=8),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_econtent_round_trip_random(self, asn, raw_entries):
+        entries = []
+        for value, length, extra, explicit in raw_entries:
+            prefix = Prefix(AF_INET, value, length)
+            if explicit:
+                entries.append(RoaPrefix(prefix, min(32, length + extra)))
+            else:
+                entries.append(RoaPrefix(prefix))
+        roa = Roa(asn, entries)
+        assert Roa.from_econtent(roa.to_econtent()) == roa
+
+
+class TestScanRoaPayloads:
+    def test_deduplicates_identical_tuples(self):
+        a = Roa(1, [RoaPrefix(p("10.0.0.0/16"), 24)])
+        b = Roa(1, [RoaPrefix(p("10.0.0.0/16"), 24), RoaPrefix(p("10.1.0.0/16"))])
+        vrps = scan_roa_payloads([a, b])
+        assert vrps == [
+            Vrp(p("10.0.0.0/16"), 24, 1),
+            Vrp(p("10.1.0.0/16"), 16, 1),
+        ]
+
+    def test_same_prefix_different_asn_kept(self):
+        a = Roa(1, [p("10.0.0.0/16")])
+        b = Roa(2, [p("10.0.0.0/16")])
+        assert len(scan_roa_payloads([a, b])) == 2
+
+    def test_sorted_output(self, small_snapshot):
+        vrps = scan_roa_payloads(small_snapshot.roas)
+        assert vrps == sorted(vrps)

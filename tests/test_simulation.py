@@ -1,0 +1,223 @@
+"""Tests for Gao–Rexford route propagation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp import (
+    AsTopology,
+    Route,
+    RouteClass,
+    Seed,
+    SimulationError,
+    ValidationState,
+    VrpIndex,
+    propagate_prefix,
+)
+from repro.netbase import Prefix
+from repro.rpki import Vrp
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+PFX = p("168.122.0.0/16")
+
+
+class TestSinglePrefix:
+    def test_origin_adopts_own_route(self, chain_topology):
+        routes = propagate_prefix(chain_topology, PFX, [Seed.origin(111)])
+        assert routes[111].route_class is RouteClass.ORIGIN
+        assert routes[111].path == (111,)
+
+    def test_everyone_reachable(self, chain_topology):
+        routes = propagate_prefix(chain_topology, PFX, [Seed.origin(111)])
+        assert set(routes) == chain_topology.ases
+
+    def test_path_classes(self, chain_topology):
+        routes = propagate_prefix(chain_topology, PFX, [Seed.origin(111)])
+        assert routes[10].route_class is RouteClass.CUSTOMER
+        assert routes[1].route_class is RouteClass.CUSTOMER
+        assert routes[2].route_class is RouteClass.PEER
+        assert routes[30].route_class is RouteClass.PROVIDER
+        assert routes[40].route_class is RouteClass.PROVIDER
+
+    def test_paths_are_consistent(self, chain_topology):
+        routes = propagate_prefix(chain_topology, PFX, [Seed.origin(111)])
+        assert routes[1].path == (10, 111)
+        assert routes[2].path == (1, 10, 111)
+        assert routes[40].path == (30, 2, 1, 10, 111)
+
+    def test_unknown_seed_rejected(self, chain_topology):
+        with pytest.raises(SimulationError):
+            propagate_prefix(chain_topology, PFX, [Seed.origin(31337)])
+
+    def test_duplicate_seed_rejected(self, chain_topology):
+        with pytest.raises(SimulationError):
+            propagate_prefix(
+                chain_topology, PFX, [Seed.origin(111), Seed.origin(111)]
+            )
+
+
+class TestValleyFree:
+    """No produced path may violate export rules (no valleys)."""
+
+    def _check_valley_free(self, topology, routes):
+        for asn, route in routes.items():
+            if route.route_class is RouteClass.ORIGIN:
+                continue
+            full_path = (asn,) + route.path
+            # walk from the origin up: once the path direction turns
+            # "down" (provider->customer) or crosses a peer edge, it
+            # must never go "up" (customer->provider) or cross another
+            # peering again.
+            descending = False
+            peer_crossings = 0
+            for later, earlier in zip(full_path, full_path[1:]):
+                # traffic flows later <- earlier; the announcement went
+                # earlier -> later.
+                if earlier in topology.customers_of(later):
+                    descending = True  # announcement climbed c->p: fine early
+                elif earlier in topology.peers_of(later):
+                    peer_crossings += 1
+                    descending = True
+                else:
+                    # earlier is a provider of later: announcement
+                    # descended p->c; all subsequent hops (toward this
+                    # AS) must also descend.
+                    assert descending or earlier in topology.providers_of(later)
+            assert peer_crossings <= 1
+
+    def test_chain_topology_valley_free(self, chain_topology):
+        routes = propagate_prefix(chain_topology, PFX, [Seed.origin(111)])
+        self._check_valley_free(chain_topology, routes)
+
+    def test_random_topology_valley_free(self, small_topology):
+        rng = random.Random(0)
+        stubs = sorted(small_topology.stub_ases())
+        for _ in range(5):
+            origin = rng.choice(stubs)
+            routes = propagate_prefix(
+                small_topology, PFX, [Seed.origin(origin)], rng=rng
+            )
+            self._check_valley_free(small_topology, routes)
+
+    def test_no_loops_in_paths(self, small_topology):
+        routes = propagate_prefix(
+            small_topology, PFX, [Seed.origin(max(small_topology.ases))]
+        )
+        for asn, route in routes.items():
+            if route.route_class is RouteClass.ORIGIN:
+                full_path = route.path
+            else:
+                full_path = (asn,) + route.path
+            assert len(set(full_path)) == len(full_path)
+
+
+class TestPreferences:
+    def test_customer_beats_shorter_peer_and_provider(self):
+        """An AS with any customer route ignores peer/provider routes."""
+        topo = AsTopology()
+        # Origin 9 is multi-homed: a long customer chain reaches 1
+        # (9 -> 3 -> 2 -> 1), while 1 also peers with 9's other
+        # provider 4, offering a much shorter peer route.
+        topo.add_customer_provider(9, 3)
+        topo.add_customer_provider(3, 2)
+        topo.add_customer_provider(2, 1)
+        topo.add_customer_provider(9, 4)
+        topo.add_peering(1, 4)
+        routes = propagate_prefix(topo, PFX, [Seed.origin(9)])
+        assert routes[1].route_class is RouteClass.CUSTOMER
+        assert routes[1].path == (2, 3, 9)
+
+    def test_shorter_path_wins_within_class(self, chain_topology):
+        routes = propagate_prefix(
+            chain_topology, PFX, [Seed.origin(111), Seed.origin(40)]
+        )
+        # AS 30 hears 40 as a direct customer: prefers it over any
+        # longer customer path.
+        assert routes[30].seed == 40
+        assert routes[30].path == (40,)
+
+    def test_deterministic_tie_break_lowest_neighbor(self):
+        topo = AsTopology()
+        topo.add_customer_provider(5, 9)
+        topo.add_customer_provider(6, 9)
+        topo.add_customer_provider(1, 5)
+        topo.add_customer_provider(1, 6)
+        # 1 announces; 9 hears two equal-length customer routes via 5, 6.
+        routes = propagate_prefix(topo, PFX, [Seed.origin(1)])
+        assert routes[9].path == (5, 1)
+
+    def test_random_tie_break_uses_rng(self):
+        topo = AsTopology()
+        topo.add_customer_provider(5, 9)
+        topo.add_customer_provider(6, 9)
+        topo.add_customer_provider(1, 5)
+        topo.add_customer_provider(1, 6)
+        seen = set()
+        for seed in range(20):
+            routes = propagate_prefix(
+                topo, PFX, [Seed.origin(1)], rng=random.Random(seed)
+            )
+            seen.add(routes[9].path[0])
+        assert seen == {5, 6}
+
+
+class TestForgedOriginSeeds:
+    def test_forged_path_one_hop_longer(self, chain_topology):
+        routes = propagate_prefix(
+            chain_topology, PFX, [Seed.forged_origin(666, 111)]
+        )
+        assert routes[666].path == (666, 111)
+        assert routes[20].path == (666, 111)
+        assert routes[20].seed == 666
+
+    def test_seed_attribute_tracks_attacker_not_claimed_origin(
+        self, chain_topology
+    ):
+        routes = propagate_prefix(
+            chain_topology, PFX, [Seed.forged_origin(666, 111)]
+        )
+        for route in routes.values():
+            assert route.seed == 666
+            assert route.claimed_origin == 111
+
+
+class TestValidationFiltering:
+    def test_invalid_announcement_dropped_everywhere(self, chain_topology):
+        index = VrpIndex([Vrp(PFX, 16, 111)])
+        hijack_prefix = p("168.122.0.0/24")
+        assert index.validate(hijack_prefix, 666) is ValidationState.INVALID
+        routes = propagate_prefix(
+            chain_topology, hijack_prefix, [Seed.origin(666)], vrp_index=index
+        )
+        assert routes == {}
+
+    def test_partial_validation_only_filters_validators(self, chain_topology):
+        index = VrpIndex([Vrp(PFX, 16, 111)])
+        hijack_prefix = p("168.122.0.0/24")
+        validators = frozenset({1, 10})  # only these drop invalids
+        routes = propagate_prefix(
+            chain_topology, hijack_prefix, [Seed.origin(666)],
+            vrp_index=index, validating_ases=validators,
+        )
+        assert 1 not in routes and 10 not in routes
+        assert 666 in routes and 20 in routes
+        # 2 still hears it via 1? no - 1 dropped it, so 2 must hear
+        # nothing (1 was its only path to 666's announcement) ... but 2
+        # peers with 1 only; 666 -> 20 -> 1 (dropped). So 2 is clean.
+        assert 2 not in routes
+
+    def test_valid_announcement_passes_validators(self, chain_topology):
+        index = VrpIndex([Vrp(PFX, 24, 111)])
+        routes = propagate_prefix(
+            chain_topology, p("168.122.0.0/24"),
+            [Seed.forged_origin(666, 111)], vrp_index=index,
+        )
+        # Everyone hears the (RPKI-valid) forged route except the
+        # victim itself, which drops the path naming its own ASN.
+        assert set(routes) == chain_topology.ases - {111}

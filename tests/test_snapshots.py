@@ -1,0 +1,72 @@
+"""Tests for the weekly snapshot series (Figure 3's x axis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    GeneratorConfig,
+    SeriesConfig,
+    WEEKLY_LABELS,
+    generate_weekly_series,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return generate_weekly_series(
+        SeriesConfig(base=GeneratorConfig(scale=0.003, seed=11))
+    )
+
+
+class TestWeeklySeries:
+    def test_eight_weeks_with_paper_dates(self, series):
+        assert len(series) == 8
+        assert tuple(s.label for s in series) == WEEKLY_LABELS
+        assert WEEKLY_LABELS[0] == "2017-04-13"
+        assert WEEKLY_LABELS[-1] == "2017-06-01"
+
+    def test_distinct_seeds_per_week(self, series):
+        seeds = {snapshot.config.seed for snapshot in series}
+        assert len(seeds) == 8
+
+    def test_final_week_matches_base_config(self, series):
+        final = series[-1]
+        assert final.config.scale == pytest.approx(0.003)
+
+    def test_table_grows_on_average(self):
+        """With growth rates amplified, the trend must be visible."""
+        grown = generate_weekly_series(
+            SeriesConfig(
+                base=GeneratorConfig(scale=0.003, seed=11),
+                table_growth_per_week=0.2,
+                rpki_growth_per_week=0.2,
+            )
+        )
+        first_half = sum(len(s.announced) for s in grown[:4])
+        second_half = sum(len(s.announced) for s in grown[4:])
+        assert second_half > first_half
+
+    def test_rpki_grows_on_average(self):
+        grown = generate_weekly_series(
+            SeriesConfig(
+                base=GeneratorConfig(scale=0.003, seed=11),
+                table_growth_per_week=0.0,
+                rpki_growth_per_week=0.2,
+            )
+        )
+        assert len(grown[-1].roas) > len(grown[0].roas)
+
+    def test_every_week_carries_vrps_and_pairs(self, series):
+        for snapshot in series:
+            assert snapshot.vrps
+            assert snapshot.announced
+
+    def test_deterministic(self):
+        config = SeriesConfig(base=GeneratorConfig(scale=0.002, seed=4))
+        a = generate_weekly_series(config)
+        b = generate_weekly_series(config)
+        assert all(
+            x.announced == y.announced and x.roas == y.roas
+            for x, y in zip(a, b)
+        )

@@ -1,0 +1,119 @@
+"""Tests for the AS topology model and the synthetic graph generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp import AsTopology, Relationship, TopologyError
+from repro.data.asgraph import TopologyProfile, generate_topology
+
+
+class TestAsTopology:
+    def test_customer_provider_views(self):
+        topo = AsTopology()
+        topo.add_customer_provider(2, 1)
+        assert topo.providers_of(2) == {1}
+        assert topo.customers_of(1) == {2}
+        assert topo.relationship(1, 2) is Relationship.CUSTOMER
+        assert topo.relationship(2, 1) is Relationship.PROVIDER
+
+    def test_peering_symmetric(self):
+        topo = AsTopology()
+        topo.add_peering(1, 2)
+        assert topo.peers_of(1) == {2} and topo.peers_of(2) == {1}
+        assert topo.relationship(1, 2) is Relationship.PEER
+
+    def test_conflicting_edge_rejected(self):
+        topo = AsTopology()
+        topo.add_customer_provider(2, 1)
+        with pytest.raises(TopologyError):
+            topo.add_peering(1, 2)
+        with pytest.raises(TopologyError):
+            topo.add_customer_provider(1, 2)
+
+    def test_self_edges_rejected(self):
+        topo = AsTopology()
+        with pytest.raises(TopologyError):
+            topo.add_customer_provider(1, 1)
+        with pytest.raises(TopologyError):
+            topo.add_peering(1, 1)
+
+    def test_relationship_requires_neighbors(self):
+        topo = AsTopology()
+        topo.add_as(1)
+        topo.add_as(2)
+        with pytest.raises(TopologyError):
+            topo.relationship(1, 2)
+
+    def test_edges_enumerated_once(self):
+        topo = AsTopology()
+        topo.add_peering(1, 2)
+        topo.add_customer_provider(3, 1)
+        edges = list(topo.edges())
+        assert len(edges) == topo.edge_count() == 2
+
+    def test_stub_and_tier1_views(self, chain_topology):
+        assert chain_topology.stub_ases() == {111, 666, 40}
+        assert chain_topology.tier1_ases() == {1, 2}
+
+    def test_from_edges(self):
+        topo = AsTopology.from_edges([(2, 1, "c2p"), (1, 3, "p2p")])
+        assert topo.providers_of(2) == {1}
+        assert topo.peers_of(1) == {3}
+        with pytest.raises(TopologyError):
+            AsTopology.from_edges([(1, 2, "sibling")])
+
+    def test_membership(self, chain_topology):
+        assert 111 in chain_topology
+        assert 9999 not in chain_topology
+        assert len(chain_topology) == 8
+
+
+class TestGenerateTopology:
+    def test_size_and_determinism(self):
+        profile = TopologyProfile(ases=300, tier1=4)
+        a = generate_topology(profile, random.Random(5))
+        b = generate_topology(profile, random.Random(5))
+        assert len(a) == 300
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_tier1_clique_is_fully_meshed(self, small_topology):
+        tier1 = sorted(small_topology.tier1_ases() & set(range(1, 5)))
+        for left in tier1:
+            for right in tier1:
+                if left < right:
+                    assert right in small_topology.peers_of(left)
+
+    def test_every_non_tier1_has_a_provider(self, small_topology):
+        for asn in small_topology.ases:
+            if asn not in small_topology.tier1_ases():
+                assert small_topology.providers_of(asn)
+
+    def test_customer_provider_graph_is_acyclic(self, small_topology):
+        """c2p edges must form a DAG or Gao-Rexford is ill-defined."""
+        state: dict[int, int] = {}
+
+        def visit(asn: int) -> None:
+            state[asn] = 1
+            for provider in small_topology.providers_of(asn):
+                mark = state.get(provider)
+                assert mark != 1, "customer-provider cycle detected"
+                if mark is None:
+                    visit(provider)
+            state[asn] = 2
+
+        for asn in small_topology.ases:
+            if asn not in state:
+                visit(asn)
+
+    def test_mostly_stubs(self, small_topology):
+        stubs = small_topology.stub_ases()
+        assert len(stubs) > len(small_topology) * 0.6
+
+    def test_rejects_degenerate_profiles(self):
+        with pytest.raises(ValueError):
+            TopologyProfile(ases=3, tier1=5)
+        with pytest.raises(ValueError):
+            TopologyProfile(transit_fraction=1.5)
