@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Serving-tier fan-out benchmark: RTR distribution + validity queries.
+
+Measures the two acceptance numbers of the ``repro.serve`` subsystem:
+
+* **RTR fan-out** — N concurrent asyncio router sessions each pull the
+  full VRP table (Reset Query) from one :class:`AsyncRtrServer`; the
+  per-serial frame cache must keep the table-encode count at 1 no
+  matter how many routers connect.
+* **Query throughput** — in-process ``validity()`` lookups/sec against
+  the radix-indexed snapshot, single-shot and batch.
+
+Emits a JSON document to stdout (machine-readable, like the other
+``bench_*`` outputs land in ``results/``) and a copy into
+``benchmarks/results/serve_fanout.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve_fanout.py \
+          [--vrps 10000] [--clients 100] [--queries 100000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.netbase import AF_INET, Prefix
+from repro.rpki import Vrp
+from repro.serve import (
+    AsyncRtrClient,
+    AsyncRtrServer,
+    QueryService,
+    ServeMetrics,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def synth_vrps(count: int, rng: random.Random) -> list[Vrp]:
+    """A deterministic ~count-entry VRP table with mixed maxLengths."""
+    vrps = []
+    for index in range(count):
+        value = ((10 + index % 60) << 24) | ((index // 60) << 10)
+        length = 22 + index % 3
+        max_length = min(24, length + index % 2)
+        vrps.append(Vrp(Prefix(AF_INET, value, length), max_length,
+                        64500 + index % 500))
+    return sorted(set(vrps))
+
+
+async def bench_rtr_fanout(vrps: list[Vrp], clients: int) -> dict:
+    metrics = ServeMetrics()
+    async with AsyncRtrServer(vrps, metrics=metrics) as server:
+        routers = [AsyncRtrClient() for _ in range(clients)]
+        for router in routers:
+            await router.connect(server.host, server.port)
+        started = time.perf_counter()
+        await asyncio.gather(*(router.sync() for router in routers))
+        elapsed = time.perf_counter() - started
+        table_ok = all(len(router.vrps) == len(vrps) for router in routers)
+        for router in routers:
+            await router.close()
+    return {
+        "vrps": len(vrps),
+        "clients": clients,
+        "all_tables_complete": table_ok,
+        "wall_seconds": round(elapsed, 4),
+        "tables_per_second": round(clients / elapsed, 1),
+        "pdus_sent": metrics["pdus_sent"],
+        "pdus_per_second": round(metrics["pdus_sent"] / elapsed, 1),
+        "bytes_sent": metrics["bytes_sent"],
+        # The tentpole claim: one encode per serial, not per client.
+        "table_encodes": metrics["frame_encodes"],
+        "frame_cache_hits": metrics["frame_hits"],
+    }
+
+
+def bench_queries(vrps: list[Vrp], count: int, rng: random.Random) -> dict:
+    service = QueryService(vrps, metrics=ServeMetrics())
+    pool = rng.sample(vrps, min(len(vrps), 2000))
+    queries = []
+    for index in range(count):
+        vrp = pool[index % len(pool)]
+        # Mix of valid / invalid-length / invalid-origin / not-found.
+        mode = index % 4
+        prefix, asn = vrp.prefix, vrp.asn
+        if mode == 1 and prefix.length < prefix.max_family_length:
+            prefix = next(iter(prefix.subprefixes(min(
+                prefix.max_family_length, vrp.max_length + 2))))
+        elif mode == 2:
+            asn = 65535
+        elif mode == 3:
+            prefix = Prefix(AF_INET, (198 << 24) | (index << 8) & 0xFFFFFF00, 24)
+        queries.append((asn, prefix))
+
+    started = time.perf_counter()
+    for asn, prefix in queries:
+        service.validity(asn, prefix)
+    single_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    results = service.validity_batch(queries)
+    batch_elapsed = time.perf_counter() - started
+
+    states = {}
+    for result in results:
+        states[result.reason] = states.get(result.reason, 0) + 1
+    latency = service.metrics.snapshot()["query_latency"]
+    return {
+        "queries": count,
+        "single_seconds": round(single_elapsed, 4),
+        "single_per_second": round(count / single_elapsed, 1),
+        "batch_seconds": round(batch_elapsed, 4),
+        "batch_per_second": round(count / batch_elapsed, 1),
+        "reason_mix": states,
+        "latency_us": {key: round(value, 2)
+                       for key, value in latency.items() if key != "count"},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vrps", type=int, default=10000)
+    parser.add_argument("--clients", type=int, default=100)
+    parser.add_argument("--queries", type=int, default=100000)
+    parser.add_argument("--seed", type=int, default=20170601)
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    vrps = synth_vrps(args.vrps, rng)
+
+    print(f"table: {len(vrps)} VRPs; {args.clients} concurrent routers...",
+          file=sys.stderr)
+    fanout = asyncio.run(bench_rtr_fanout(vrps, args.clients))
+    print(f"queries: {args.queries} validity lookups...", file=sys.stderr)
+    queries = bench_queries(vrps, args.queries, rng)
+
+    report = {
+        "benchmark": "serve_fanout",
+        "rtr_fanout": fanout,
+        "validity_queries": queries,
+        "acceptance": {
+            "single_table_encode": fanout["table_encodes"] == 1,
+            "all_tables_complete": fanout["all_tables_complete"],
+            "gte_50k_queries_per_second":
+                queries["batch_per_second"] >= 50000,
+        },
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serve_fanout.json").write_text(text + "\n",
+                                                   encoding="utf-8")
+    return 0 if all(report["acceptance"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The serving tier in one sitting: async RTR fan-out + validity queries.
+
+Figure 1's local cache has two faces.  Routers pull the validated VRP
+table over RPKI-to-Router; operators and tooling ask the cache directly
+whether a (prefix, origin AS) pair is valid.  This example runs both
+against one VRP set — the paper's §4 example ROA for AS 31283 — and
+shows the fan-out economics: many routers, one table encode.
+
+Run:  python examples/serve_quickstart.py
+"""
+
+import asyncio
+import json
+
+from repro.netbase import Prefix
+from repro.rpki import Vrp
+from repro.serve import (
+    AsyncRtrClient,
+    AsyncRtrServer,
+    QueryHttpServer,
+    QueryService,
+    ServeMetrics,
+)
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+#: §4's running example: a loose /19-20 ROA plus a minimal sibling.
+VRPS = [
+    Vrp(p("87.254.32.0/19"), 20, 31283),
+    Vrp(p("87.254.32.0/21"), 21, 31283),
+    Vrp(p("168.122.0.0/16"), 24, 111),
+    Vrp(p("2001:db8::/32"), 48, 7),
+]
+
+ROUTERS = 8
+
+
+async def main() -> None:
+    metrics = ServeMetrics()
+
+    print(f"1. starting the async RTR server with {len(VRPS)} VRPs...")
+    async with AsyncRtrServer(VRPS, metrics=metrics) as rtr:
+        print(f"   listening on {rtr.host}:{rtr.port}, "
+              f"serial {rtr.state.serial}")
+
+        print(f"2. syncing {ROUTERS} concurrent router sessions...")
+        routers = [AsyncRtrClient() for _ in range(ROUTERS)]
+        for router in routers:
+            await router.connect(rtr.host, rtr.port)
+        await asyncio.gather(*(router.sync() for router in routers))
+        assert all(router.vrps == frozenset(VRPS) for router in routers)
+        print(f"   every router holds {len(VRPS)} VRPs; the table was "
+              f"encoded {metrics['frame_encodes']} time(s) and served "
+              f"from cache {metrics['frame_hits']} time(s)")
+
+        print("3. pushing an update; routers catch up incrementally...")
+        await rtr.update(VRPS + [Vrp(p("203.0.113.0/24"), 24, 64500)])
+        await asyncio.gather(*(router.wait_for_notify() for router in routers))
+        await asyncio.gather(*(router.sync() for router in routers))
+        print(f"   all notified, now at serial {rtr.state.serial} with "
+              f"{len(routers[0].vrps)} VRPs each")
+
+        print("4. origin-validation queries against the same VRP set...")
+        service = QueryService(rtr.state.vrps, metrics=metrics)
+        service.serial = rtr.state.serial
+        for asn, prefix, note in [
+            (31283, "87.254.32.0/20", "inside maxLength"),
+            (31283, "87.254.40.0/22", "beyond maxLength: the §4 hole"),
+            (666, "87.254.32.0/20", "forged origin"),
+            (31283, "198.51.100.0/24", "no covering ROA"),
+        ]:
+            result = service.validity(asn, p(prefix))
+            print(f"   AS{asn:<6} {prefix:<18} -> {result.state.value:<8} "
+                  f"({result.reason}; {note})")
+
+        print("5. the same service over HTTP/JSON...")
+        async with QueryHttpServer(service, metrics=metrics) as http:
+            reader, writer = await asyncio.open_connection(http.host, http.port)
+            writer.write(
+                b"GET /validity?asn=31283&prefix=87.254.40.0%2F22 HTTP/1.1\r\n"
+                b"Connection: close\r\n\r\n")
+            raw = await reader.read()
+            writer.close()
+            body = json.loads(raw.split(b"\r\n\r\n", 1)[1])
+            print(f"   GET /validity -> state={body['state']} "
+                  f"reason={body['reason']}")
+
+        for router in routers:
+            await router.close()
+
+    snapshot = metrics.snapshot()
+    print("6. metrics snapshot:")
+    print(f"   connections={snapshot['connections_opened']} "
+          f"pdus_sent={snapshot['pdus_sent']} "
+          f"bytes_sent={snapshot['bytes_sent']} "
+          f"frame_encodes={snapshot['frame_encodes']} "
+          f"frame_hits={snapshot['frame_hits']} "
+          f"queries={snapshot['queries']}")
+    print("done: one encode per serial, however many routers connect.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -54,10 +54,7 @@ class VrpIndex:
         if tree is None:
             tree = RadixTree[list[Vrp]](vrp.prefix.family)
             self._trees[vrp.prefix.family] = tree
-        bucket = tree.get(vrp.prefix)
-        if bucket is None:
-            bucket = []
-            tree.insert(vrp.prefix, bucket)
+        bucket = tree.setdefault(vrp.prefix, [])
         if vrp not in bucket:
             bucket.append(vrp)
             self._count += 1

@@ -10,7 +10,10 @@ Subcommands mirror the paper's workflow:
 * ``table1``    — print Table 1 for a snapshot (from files or synthetic).
 * ``figure3``   — print both Figure 3 panels from the weekly series.
 * ``lint``      — review ROAs against the BGP table (§8 advice as code).
-* ``rtr-serve`` — serve a VRP CSV to routers over RPKI-to-Router.
+* ``rtr-serve`` — serve a VRP CSV to routers over RPKI-to-Router
+  (legacy thread-per-connection server).
+* ``serve``     — the full serving tier: async high-fanout RTR
+  distribution plus the origin-validation HTTP/JSON query service.
 
 Examples::
 
@@ -94,10 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--errors-only", action="store_true",
                       help="print only ROAs with ERROR findings")
 
-    serve = sub.add_parser("rtr-serve", help="serve VRPs over RTR")
+    rtr_serve = sub.add_parser(
+        "rtr-serve", help="serve VRPs over RTR (legacy threaded server)"
+    )
+    rtr_serve.add_argument("vrps", help="input VRP CSV")
+    rtr_serve.add_argument("--host", default="127.0.0.1")
+    rtr_serve.add_argument("--port", type=int, default=8282)
+    rtr_serve.add_argument("--compress", action="store_true",
+                           help="compress before serving")
+
+    serve = sub.add_parser(
+        "serve",
+        help="async RTR distribution + origin-validation query service",
+    )
     serve.add_argument("vrps", help="input VRP CSV")
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8282)
+    serve.add_argument("--rtr-host", default="127.0.0.1")
+    serve.add_argument("--rtr-port", type=int, default=8282)
+    serve.add_argument("--http-host", default="127.0.0.1")
+    serve.add_argument("--http-port", type=int, default=8080)
     serve.add_argument("--compress", action="store_true",
                        help="compress before serving")
     return parser
@@ -216,7 +233,7 @@ def _cmd_rtr_serve(args: argparse.Namespace) -> int:
 
     cache = LocalCache(compress=args.compress)
     cache.refresh_from_vrps(read_vrp_csv(args.vrps))
-    server = cache.serve(host=args.host, port=args.port)
+    server = cache.serve(host=args.host, port=args.port, backend="thread")
     print(
         f"serving {len(cache.pdus)} PDUs on {server.host}:{server.port} "
         f"(compress={'on' if args.compress else 'off'}); Ctrl-C to stop"
@@ -232,6 +249,48 @@ def _cmd_rtr_serve(args: argparse.Namespace) -> int:
         cache.close()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the pure-analysis commands stay socket-free.
+    import asyncio
+
+    from .serve import (
+        AsyncRtrServer,
+        QueryHttpServer,
+        QueryService,
+        ServeMetrics,
+    )
+
+    vrps = list(read_vrp_csv(args.vrps))
+    if args.compress:
+        vrps = compress_vrps(vrps)
+
+    async def run() -> None:
+        metrics = ServeMetrics()
+        rtr = AsyncRtrServer(
+            vrps, host=args.rtr_host, port=args.rtr_port, metrics=metrics)
+        await rtr.start()
+        service = QueryService(vrps, metrics=metrics)
+        service.serial = rtr.state.serial
+        http = QueryHttpServer(
+            service, host=args.http_host, port=args.http_port, metrics=metrics)
+        await http.start()
+        print(
+            f"RTR: {len(vrps)} VRPs at serial {rtr.state.serial} on "
+            f"{rtr.host}:{rtr.port} (compress={'on' if args.compress else 'off'})"
+        )
+        print(
+            f"HTTP: GET http://{http.host}:{http.port}/validity"
+            f"?asn=…&prefix=… (also /metrics, /status); Ctrl-C to stop"
+        )
+        await asyncio.Event().wait()  # serve until interrupted
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "minimal": _cmd_minimal,
@@ -241,6 +300,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "figure3": _cmd_figure3,
     "rtr-serve": _cmd_rtr_serve,
+    "serve": _cmd_serve,
 }
 
 

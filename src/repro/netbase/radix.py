@@ -197,6 +197,20 @@ class RadixTree(Generic[V]):
             return default
         return node.value
 
+    def setdefault(self, prefix: Prefix, default: V) -> V:
+        """The value at ``prefix``, inserting ``default`` when absent.
+
+        Bulk index builds (one bucket per prefix, many entries per
+        bucket) hit the existing-key case constantly; answering it from
+        a single exact-match walk instead of a get-then-insert pair
+        roughly halves the tree traffic.
+        """
+        node = self._lookup_exact(prefix)
+        if node is not None and node.has_value:
+            return node.value  # type: ignore[return-value]
+        self.insert(prefix, default)
+        return default
+
     def longest_match(self, prefix: Prefix) -> Optional[tuple[Prefix, V]]:
         """The most-specific stored entry covering ``prefix``."""
         self._check(prefix)

@@ -8,6 +8,11 @@ connected router with Serial Notify.
 
 Threads (rather than asyncio) keep the server usable from synchronous
 test and benchmark code; the protocol work per connection is trivial.
+
+This is the reference implementation, kept for its simplicity.  The
+production serving tier — asyncio sessions, per-serial pre-encoded
+frame fan-out, metrics — lives in :mod:`repro.serve.rtr_async`;
+:meth:`repro.core.pipeline.LocalCache.serve` defaults to it.
 """
 
 from __future__ import annotations

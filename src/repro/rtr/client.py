@@ -19,14 +19,13 @@ from .pdu import (
     EndOfDataPdu,
     ErrorReportPdu,
     FLAG_ANNOUNCE,
-    IncompletePdu,
     Ipv4PrefixPdu,
     Ipv6PrefixPdu,
     Pdu,
+    PduBuffer,
     ResetQueryPdu,
     SerialNotifyPdu,
     SerialQueryPdu,
-    decode_pdu,
     encode_pdu,
     pdu_to_vrp,
 )
@@ -53,7 +52,7 @@ class RtrClient:
 
     def __init__(self, host: str, port: int, *, timeout: float = 5.0) -> None:
         self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._buffer = b""
+        self._buffer = PduBuffer()
         self._vrps: set[Vrp] = set()
         self.session_id: Optional[int] = None
         self.serial: Optional[int] = None
@@ -159,13 +158,10 @@ class RtrClient:
 
     def _recv_pdu(self) -> Pdu:
         while True:
-            try:
-                pdu, consumed = decode_pdu(self._buffer)
-            except IncompletePdu:
-                chunk = self._socket.recv(65536)
-                if not chunk:
-                    raise RtrClientError("cache closed the connection") from None
-                self._buffer += chunk
-                continue
-            self._buffer = self._buffer[consumed:]
-            return pdu
+            pdu = self._buffer.next()
+            if pdu is not None:
+                return pdu
+            chunk = self._socket.recv(65536)
+            if not chunk:
+                raise RtrClientError("cache closed the connection")
+            self._buffer.feed(chunk)

@@ -35,6 +35,7 @@ __all__ = [
     "CacheResetPdu",
     "ErrorReportPdu",
     "Pdu",
+    "PduBuffer",
     "FLAG_ANNOUNCE",
     "FLAG_WITHDRAW",
     "encode_pdu",
@@ -308,25 +309,28 @@ def encode_pdu(pdu: Pdu, version: int = PROTOCOL_VERSION) -> bytes:
 # ----------------------------------------------------------------------
 
 
-def decode_pdu(data: bytes) -> tuple[Pdu, int]:
-    """Decode one PDU from the head of ``data``.
+def decode_pdu(data: bytes, offset: int = 0) -> tuple[Pdu, int]:
+    """Decode one PDU starting at ``offset`` into ``data``.
 
-    Returns (pdu, bytes_consumed).
+    Returns (pdu, bytes_consumed).  Taking an offset (instead of
+    requiring callers to slice) lets :func:`decode_stream` walk a large
+    receive buffer without copying the remainder once per PDU.
 
     Raises:
         PduError: on malformed bytes or an unsupported type/version.
         IncompletePdu: when more bytes are needed.
     """
-    if len(data) < 8:
-        raise IncompletePdu(8 - len(data))
-    version, pdu_type, session_field, length = _HEADER.unpack_from(data)
+    available = len(data) - offset
+    if available < 8:
+        raise IncompletePdu(8 - available)
+    version, pdu_type, session_field, length = _HEADER.unpack_from(data, offset)
     if version not in (PROTOCOL_VERSION, PROTOCOL_VERSION_1):
         raise PduError(f"unsupported protocol version {version}")
     if length < 8 or length > 1 << 20:
         raise PduError(f"implausible PDU length {length}")
-    if len(data) < length:
-        raise IncompletePdu(length - len(data))
-    body = data[8:length]
+    if available < length:
+        raise IncompletePdu(length - available)
+    body = data[offset + 8:offset + length]
 
     if pdu_type == SerialNotifyPdu.pdu_type:
         _expect(body, 4, "Serial Notify")
@@ -400,17 +404,60 @@ class IncompletePdu(PduError):
 
 
 def decode_stream(data: bytes) -> tuple[list[Pdu], bytes]:
-    """Decode as many PDUs as ``data`` holds; returns (pdus, remainder)."""
+    """Decode as many PDUs as ``data`` holds; returns (pdus, remainder).
+
+    The remainder is whatever trails the last complete PDU — typically
+    a frame split mid-header (or mid-body) by the transport; prepend
+    the next read to it and call again.  Decoding walks the buffer by
+    offset, so a full-table blob decodes in linear time rather than
+    re-copying the tail once per PDU.
+    """
     pdus: list[Pdu] = []
     offset = 0
     while offset < len(data):
         try:
-            pdu, consumed = decode_pdu(data[offset:])
+            pdu, consumed = decode_pdu(data, offset)
         except IncompletePdu:
             break
         pdus.append(pdu)
         offset += consumed
     return pdus, data[offset:]
+
+
+class PduBuffer:
+    """Incremental decode state for one PDU byte stream.
+
+    ``feed()`` the bytes as they arrive; ``next()`` yields complete
+    PDUs (or None when more bytes are needed).  Consumption advances
+    an offset and the spent prefix is trimmed only on the next feed,
+    so decoding a full-table stream stays linear instead of re-copying
+    the tail once per PDU.  Shared by the synchronous and asyncio RTR
+    clients so the buffer-management subtleties live in one place.
+    """
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self) -> None:
+        self._data = b""
+        self._pos = 0
+
+    def feed(self, chunk: bytes) -> None:
+        if self._pos:
+            self._data = self._data[self._pos:]
+            self._pos = 0
+        self._data += chunk
+
+    def next(self) -> Optional[Pdu]:
+        """The next complete PDU, or None when more bytes are needed.
+
+        Raises PduError on malformed bytes, like :func:`decode_pdu`.
+        """
+        try:
+            pdu, consumed = decode_pdu(self._data, self._pos)
+        except IncompletePdu:
+            return None
+        self._pos += consumed
+        return pdu
 
 
 def _u32(body: bytes) -> int:

@@ -50,16 +50,25 @@ class CacheState:
     def vrps(self) -> frozenset[Vrp]:
         return frozenset(self._vrps)
 
+    @property
+    def history_limit(self) -> int:
+        """How many diffs are retained before routers must reset."""
+        return self._history_limit
+
     def __len__(self) -> int:
         return len(self._vrps)
 
     def update(self, new_vrps: Iterable[Vrp]) -> VrpDiff:
         """Install a new VRP set; returns the diff and bumps the serial.
 
-        An identical set still bumps the serial (callers usually check
-        the returned diff's ``empty`` flag to skip notifying).
+        A no-op update (identical VRP set) is coalesced: the serial
+        does not move and no empty diff enters the history, so routers
+        are neither notified nor forced through a pointless exchange,
+        and the bounded history is not flushed by idle refreshes.
         """
         new_set = set(new_vrps)
+        if new_set == self._vrps:
+            return VrpDiff(announced=(), withdrawn=())
         diff = VrpDiff(
             announced=tuple(sorted(new_set - self._vrps)),
             withdrawn=tuple(sorted(self._vrps - new_set)),

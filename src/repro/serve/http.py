@@ -1,0 +1,263 @@
+"""A minimal HTTP/1.1 JSON front end for the query service.
+
+Just enough HTTP to put :class:`~repro.serve.query.QueryService` on a
+socket without pulling in a web framework: request-line + header
+parsing over asyncio streams, keep-alive, Content-Length bodies.
+
+Endpoints:
+
+* ``GET /validity?asn=65000&prefix=10.0.0.0/24`` — one RFC 6811
+  decision as JSON (state, reason, matched VRP, covering VRPs).
+* ``POST /validity`` — batch: ``{"queries": [{"asn": ..., "prefix":
+  ...}, ...]}`` in, ``{"results": [...]}`` out.
+* ``GET /metrics`` — the shared :class:`ServeMetrics` snapshot.
+* ``GET /status`` — VRP count and snapshot serial.
+
+Malformed input gets a 400 with a JSON error body; unknown paths 404.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Set, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..netbase import Prefix
+from ..netbase.errors import ReproError
+from .metrics import ServeMetrics, ensure_metrics
+from .query import QueryService
+
+__all__ = ["QueryHttpServer", "HttpRequestError"]
+
+_MAX_HEADER_BYTES = 16384
+_MAX_BODY_BYTES = 4 << 20
+#: Largest POST /validity batch accepted in one request.  Bigger
+#: batches also get offloaded; the cap just bounds per-request memory.
+_MAX_BATCH_QUERIES = 100_000
+#: Batches at least this large run in the default executor so the
+#: event loop keeps serving RTR sessions and notifies meanwhile (the
+#: snapshot is immutable, so cross-thread reads are safe).
+_EXECUTOR_BATCH_THRESHOLD = 512
+
+
+class HttpRequestError(ReproError):
+    """Client-side error: reported as a 400 response, not a crash."""
+
+
+class QueryHttpServer:
+    """Serve origin-validation queries over HTTP/JSON."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        self.service = service
+        self.metrics = ensure_metrics(
+            metrics if metrics is not None else service.metrics)
+        self._requested = (host, port)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+
+    async def start(self) -> "QueryHttpServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, *self._requested)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def close(self) -> None:
+        # Force idle keep-alive connections closed BEFORE awaiting
+        # wait_closed(): since Python 3.12.1 it waits for connection
+        # handlers, which otherwise sit in readuntil() forever.
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "QueryHttpServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except HttpRequestError as exc:
+                    self.metrics.increment("http_errors")
+                    await self._respond(writer, 400, {"error": str(exc)}, False)
+                    break
+                if request is None:
+                    break
+                method, path, version, headers, body = request
+                self.metrics.increment("http_requests")
+                # Header values are case-insensitive (RFC 9110), and
+                # HTTP/1.0 defaults to close rather than keep-alive.
+                connection = headers.get("connection", "").lower()
+                if version == "HTTP/1.0":
+                    keep_alive = connection == "keep-alive"
+                else:
+                    keep_alive = connection != "close"
+                try:
+                    status, payload = await self._route(method, path, body)
+                except HttpRequestError as exc:
+                    self.metrics.increment("http_errors")
+                    status, payload = 400, {"error": str(exc)}
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.LimitOverrunError:
+            # Head exceeded the StreamReader's own limit before our
+            # size check could run; same answer either way.
+            raise HttpRequestError("request head too large")
+        if len(head) > _MAX_HEADER_BYTES:
+            raise HttpRequestError("request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, path, version = lines[0].split(" ", 2)
+        except ValueError:
+            raise HttpRequestError(f"malformed request line {lines[0]!r}")
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpRequestError(f"bad Content-Length {raw_length!r}")
+        if length < 0:
+            raise HttpRequestError(f"bad Content-Length {raw_length!r}")
+        if length:
+            if length > _MAX_BODY_BYTES:
+                raise HttpRequestError("request body too large")
+            body = await reader.readexactly(length)
+        return method.upper(), path, version.strip().upper(), headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        keep_alive: bool,
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "OK")
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        url = urlsplit(path)
+        if url.path == "/validity" and method == "GET":
+            return 200, self._single_query(parse_qs(url.query))
+        if url.path == "/validity" and method == "POST":
+            return 200, await self._batch_query(body)
+        if url.path == "/metrics" and method == "GET":
+            return 200, self.metrics.snapshot()
+        if url.path == "/status" and method == "GET":
+            return 200, {
+                "vrps": len(self.service),
+                "serial": self.service.serial,
+            }
+        if url.path in ("/validity", "/metrics", "/status"):
+            return 405, {"error": f"{method} not allowed on {url.path}"}
+        return 404, {"error": f"no such endpoint {url.path}"}
+
+    def _single_query(self, params: Dict[str, List[str]]) -> Dict[str, object]:
+        asn, prefix = _parse_pair(
+            (params.get("asn") or [None])[0],
+            (params.get("prefix") or [None])[0],
+        )
+        return self.service.validity(asn, prefix).to_json()
+
+    async def _batch_query(self, body: bytes) -> Dict[str, object]:
+        try:
+            document = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise HttpRequestError(f"invalid JSON body: {exc}")
+        queries = document.get("queries")
+        if not isinstance(queries, list):
+            raise HttpRequestError('body must be {"queries": [...]}')
+        if len(queries) > _MAX_BATCH_QUERIES:
+            raise HttpRequestError(
+                f"batch of {len(queries)} exceeds the "
+                f"{_MAX_BATCH_QUERIES}-query limit")
+        pairs = [
+            _parse_pair(entry.get("asn"), entry.get("prefix"))
+            if isinstance(entry, dict)
+            else _parse_pair(None, None)
+            for entry in queries
+        ]
+        if len(pairs) >= _EXECUTOR_BATCH_THRESHOLD:
+            # Don't stall RTR sessions sharing this loop: the lookup
+            # walk is pure CPU over an immutable snapshot, so it can
+            # run on a worker thread.
+            results = await asyncio.get_running_loop().run_in_executor(
+                None, self.service.validity_batch, pairs)
+        else:
+            results = self.service.validity_batch(pairs)
+        return {"results": [result.to_json() for result in results]}
+
+
+def _parse_pair(asn: object, prefix: object) -> Tuple[int, Prefix]:
+    if asn is None or prefix is None:
+        raise HttpRequestError("both 'asn' and 'prefix' are required")
+    try:
+        asn_value = int(str(asn).upper().removeprefix("AS"))
+    except ValueError:
+        raise HttpRequestError(f"bad ASN {asn!r}")
+    try:
+        prefix_value = Prefix.parse(str(prefix))
+    except ReproError as exc:
+        raise HttpRequestError(f"bad prefix {prefix!r}: {exc}")
+    return asn_value, prefix_value

@@ -1,0 +1,441 @@
+"""Asyncio RTR distribution: one cache, thousands of router sessions.
+
+:class:`repro.rtr.cache.RtrCacheServer` spends a thread per router and
+re-encodes the table per Reset Query; neither survives contact with
+the paper's deployment story (§6: the local cache must be cheap on
+general-purpose hardware).  This server is the scaling rewrite:
+
+* **One event loop, zero per-client threads.**  Each router session is
+  a coroutine multiplexed by asyncio; concurrency is bounded by file
+  descriptors, not thread stacks.
+* **Encode once, fan out by reference.**  Responses come from the
+  per-serial :class:`~repro.serve.frames.FrameCache`; serving the same
+  serial to 1,000 routers performs one table encode and 1,000
+  zero-copy buffer writes.
+* **Backpressure-aware.**  After writing a data frame the handler
+  awaits ``drain()``, so one slow router throttles only its own
+  coroutine while others stream at full speed.  Serial Notify
+  broadcasts are 12-byte fire-and-forget writes that never block the
+  update path on a congested peer.
+* **Serial Notify on update.**  :meth:`AsyncRtrServer.update` installs
+  a new VRP set through :class:`~repro.rtr.session.CacheState` (no-op
+  updates are coalesced there) and broadcasts the cached notify frame.
+
+:class:`ThreadedRtrServer` wraps the async server in a dedicated
+event-loop thread with the same synchronous surface as the legacy
+server (``start/update/close/host/port/state``), so
+:class:`repro.core.pipeline.LocalCache` and synchronous tests drive it
+unchanged.  :class:`AsyncRtrClient` is the matching coroutine client
+used by the fan-out benchmark and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Iterable, Optional, Set
+
+from ..netbase.errors import ReproError
+from ..rpki.vrp import Vrp
+from ..rtr.pdu import (
+    CacheResetPdu,
+    CacheResponsePdu,
+    EndOfDataPdu,
+    ErrorReportPdu,
+    FLAG_ANNOUNCE,
+    Ipv4PrefixPdu,
+    Ipv6PrefixPdu,
+    Pdu,
+    PduBuffer,
+    PduError,
+    ResetQueryPdu,
+    SerialNotifyPdu,
+    SerialQueryPdu,
+    decode_stream,
+    encode_pdu,
+    pdu_to_vrp,
+)
+from ..rtr.session import CacheState, VrpDiff
+from .frames import FrameCache
+from .metrics import ServeMetrics, ensure_metrics
+
+__all__ = ["AsyncRtrServer", "ThreadedRtrServer", "AsyncRtrClient"]
+
+_RECV_CHUNK = 65536
+
+
+class AsyncRtrServer:
+    """Asyncio RTR cache server over a :class:`CacheState`.
+
+    Pure-async API — create, ``await start()``, ``await update(...)``
+    as data refreshes, ``await close()``.  All methods must run on the
+    loop that called :meth:`start` (use :class:`ThreadedRtrServer`
+    from synchronous code).
+    """
+
+    def __init__(
+        self,
+        initial: Iterable[Vrp] = (),
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        session_id: int = 1,
+        history_limit: int = 16,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        self.state = CacheState(session_id, history_limit=history_limit)
+        self.metrics = ensure_metrics(metrics)
+        self.frames = FrameCache(self.state, metrics=self.metrics)
+        self._requested_host = host
+        self._requested_port = port
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        if initial:
+            self.state.update(initial)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "AsyncRtrServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._requested_host,
+            self._requested_port,
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def close(self) -> None:
+        # Close client writers BEFORE awaiting wait_closed(): since
+        # Python 3.12.1 wait_closed() also waits for connection
+        # handlers, which sit in reader.read() until their transport
+        # closes — the old order deadlocks with any router connected.
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "AsyncRtrServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Data updates
+    # ------------------------------------------------------------------
+
+    async def update(self, vrps: Iterable[Vrp]) -> VrpDiff:
+        """Install a new VRP set; broadcast Serial Notify if it changed."""
+        diff = self.state.update(vrps)
+        if not diff.empty:
+            notify = self.frames.notify()
+            for writer in list(self._writers):
+                if writer.is_closing():
+                    continue
+                # 12 bytes, fire-and-forget: a congested router delays
+                # its own notify, never the update path or its peers.
+                writer.write(notify)
+                self.metrics.increment("notifies_sent")
+                self.metrics.increment("bytes_sent", len(notify))
+                self.metrics.increment("pdus_sent")
+        return diff
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        self.metrics.increment("connections_opened")
+        buffer = b""
+        try:
+            while True:
+                chunk = await reader.read(_RECV_CHUNK)
+                if not chunk:
+                    break
+                buffer += chunk
+                try:
+                    pdus, buffer = decode_stream(buffer)
+                except PduError as exc:
+                    await self._send(writer, encode_pdu(ErrorReportPdu(
+                        ErrorReportPdu.CORRUPT_DATA, text=str(exc))), 1)
+                    break
+                for pdu in pdus:
+                    await self._dispatch(writer, pdu)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            self.metrics.increment("connections_closed")
+            writer.close()
+
+    async def _dispatch(self, writer: asyncio.StreamWriter, pdu: Pdu) -> None:
+        if isinstance(pdu, ResetQueryPdu):
+            frame, pdu_count = self.frames.full_table()
+            self.metrics.increment("reset_queries")
+            await self._send(writer, frame, pdu_count)
+        elif isinstance(pdu, SerialQueryPdu):
+            self.metrics.increment("serial_queries")
+            if pdu.session_id != self.state.session_id:
+                self.metrics.increment("cache_resets_sent")
+                await self._send(writer, encode_pdu(CacheResetPdu()), 1)
+                return
+            cached = self.frames.diff(pdu.serial)
+            if cached is None:
+                self.metrics.increment("cache_resets_sent")
+                await self._send(writer, encode_pdu(CacheResetPdu()), 1)
+                return
+            frame, pdu_count = cached
+            await self._send(writer, frame, pdu_count)
+        else:
+            await self._send(writer, encode_pdu(ErrorReportPdu(
+                ErrorReportPdu.UNSUPPORTED_PDU,
+                text=f"cache cannot handle {type(pdu).__name__}")), 1)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, frame: bytes, pdu_count: int
+    ) -> None:
+        """One frame, one write, then drain: per-client backpressure."""
+        if writer.is_closing():
+            return
+        writer.write(frame)
+        self.metrics.increment("bytes_sent", len(frame))
+        self.metrics.increment("pdus_sent", pdu_count)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+
+class ThreadedRtrServer:
+    """:class:`AsyncRtrServer` behind a synchronous facade.
+
+    Runs a private event loop in a daemon thread and proxies
+    ``start/update/close`` through ``run_coroutine_threadsafe``.  The
+    surface matches the legacy ``RtrCacheServer`` closely enough that
+    :class:`~repro.core.pipeline.LocalCache` and the synchronous
+    :class:`~repro.rtr.client.RtrClient` interoperate unchanged.
+    """
+
+    def __init__(
+        self,
+        initial: Iterable[Vrp] = (),
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        session_id: int = 1,
+        history_limit: int = 16,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        self._async = AsyncRtrServer(
+            initial,
+            host=host,
+            port=port,
+            session_id=session_id,
+            history_limit=history_limit,
+            metrics=metrics,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def state(self) -> CacheState:
+        return self._async.state
+
+    @property
+    def metrics(self) -> ServeMetrics:
+        return self._async.metrics
+
+    @property
+    def frames(self) -> FrameCache:
+        return self._async.frames
+
+    @property
+    def host(self) -> str:
+        return self._async.host
+
+    @property
+    def port(self) -> int:
+        return self._async.port
+
+    def start(self) -> "ThreadedRtrServer":
+        ready = threading.Event()
+        self._loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            assert self._loop is not None
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(ready.set)
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="rtr-async-loop", daemon=True)
+        self._thread.start()
+        ready.wait()
+        try:
+            self._call(self._async.start())
+        except BaseException:
+            # Don't leak the loop thread when the bind fails.
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+            raise
+        return self
+
+    def update(self, vrps: Iterable[Vrp]) -> VrpDiff:
+        return self._call(self._async.update(list(vrps)))
+
+    def close(self) -> None:
+        if self._loop is None:
+            return
+        self._call(self._async.close())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def _call(self, coro):  # type: ignore[no-untyped-def]
+        assert self._loop is not None, "server not started"
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def __enter__(self) -> "ThreadedRtrServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsyncRtrClient:
+    """Coroutine RTR router client (the async twin of ``RtrClient``).
+
+    The fan-out benchmark runs hundreds of these on one loop; each
+    holds just a reader/writer pair and its VRP set.
+    """
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._vrps: set[Vrp] = set()
+        self._buffer = PduBuffer()
+        self.session_id: Optional[int] = None
+        self.serial: Optional[int] = None
+
+    @property
+    def vrps(self) -> frozenset[Vrp]:
+        return frozenset(self._vrps)
+
+    async def connect(self, host: str, port: int) -> "AsyncRtrClient":
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncRtrClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+
+    async def sync(self) -> int:
+        """Bring the table up to date; returns PDUs processed."""
+        assert self._writer is not None, "not connected"
+        if self.serial is None or self.session_id is None:
+            return await self._reset_sync()
+        self._writer.write(encode_pdu(
+            SerialQueryPdu(self.session_id, self.serial)))
+        first = await self._recv_response_header()
+        if isinstance(first, CacheResetPdu):
+            return await self._reset_sync()
+        if not isinstance(first, CacheResponsePdu):
+            raise ReproError(f"expected Cache Response, got {first}")
+        return 1 + await self._consume_data(first.session_id)
+
+    async def _reset_sync(self) -> int:
+        assert self._writer is not None
+        self._writer.write(encode_pdu(ResetQueryPdu()))
+        first = await self._recv_response_header()
+        if not isinstance(first, CacheResponsePdu):
+            raise ReproError(f"expected Cache Response, got {first}")
+        self._vrps.clear()
+        return 1 + await self._consume_data(first.session_id)
+
+    async def _recv_response_header(self) -> Pdu:
+        while True:
+            pdu = await self._recv_pdu()
+            if not isinstance(pdu, SerialNotifyPdu):
+                return pdu
+
+    async def _consume_data(self, session_id: int) -> int:
+        processed = 0
+        while True:
+            pdu = await self._recv_pdu()
+            processed += 1
+            if isinstance(pdu, (Ipv4PrefixPdu, Ipv6PrefixPdu)):
+                vrp = pdu_to_vrp(pdu)
+                if pdu.flags & FLAG_ANNOUNCE:
+                    self._vrps.add(vrp)
+                else:
+                    self._vrps.discard(vrp)
+            elif isinstance(pdu, EndOfDataPdu):
+                self.session_id = session_id
+                self.serial = pdu.serial
+                return processed
+            elif isinstance(pdu, ErrorReportPdu):
+                raise ReproError(
+                    f"cache reported error {pdu.error_code}: {pdu.text}")
+            elif isinstance(pdu, SerialNotifyPdu):
+                continue  # a notify racing the data stream is harmless
+            else:
+                raise ReproError(f"unexpected PDU {pdu}")
+
+    async def wait_for_notify(self, timeout: float = 5.0) -> SerialNotifyPdu:
+        """Wait until the cache signals new data with Serial Notify.
+
+        A timeout cannot lose bytes: StreamReader.read pops its buffer
+        synchronously after the wakeup await, so cancellation mid-wait
+        leaves any arrived bytes inside the stream for the next call.
+        """
+        async def _wait() -> SerialNotifyPdu:
+            while True:
+                pdu = await self._recv_pdu()
+                if isinstance(pdu, SerialNotifyPdu):
+                    return pdu
+
+        return await asyncio.wait_for(_wait(), timeout)
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+
+    async def _recv_pdu(self) -> Pdu:
+        assert self._reader is not None, "not connected"
+        while True:
+            pdu = self._buffer.next()
+            if pdu is not None:
+                return pdu
+            chunk = await self._reader.read(_RECV_CHUNK)
+            if not chunk:
+                raise ReproError("cache closed the connection")
+            self._buffer.feed(chunk)

@@ -42,7 +42,7 @@ class TestParser:
     def test_known_subcommands(self):
         parser = build_parser()
         for command in ["compress", "minimal", "analyze", "generate",
-                        "table1", "figure3", "rtr-serve"]:
+                        "table1", "figure3", "rtr-serve", "serve"]:
             assert parser.parse_args(
                 [command] + {
                     "compress": ["x.csv"],
@@ -52,8 +52,15 @@ class TestParser:
                     "table1": [],
                     "figure3": [],
                     "rtr-serve": ["x.csv"],
+                    "serve": ["x.csv"],
                 }[command]
             ).command == command
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "x.csv"])
+        assert args.rtr_port == 8282
+        assert args.http_port == 8080
+        assert not args.compress
 
 
 class TestCompressCommand:

@@ -50,6 +50,14 @@ class TestExamples:
         assert (tmp_path / "vrps.csv").exists()
         assert (tmp_path / "rib.txt").exists()
 
+    def test_serve_quickstart(self):
+        result = run_example("serve_quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "encoded 1 time(s)" in result.stdout
+        assert "invalid-length; beyond maxLength" in result.stdout
+        assert "state=invalid reason=invalid-length" in result.stdout
+        assert "one encode per serial" in result.stdout
+
     def test_roa_lint_curated(self):
         result = run_example("roa_lint.py")
         assert result.returncode == 0, result.stderr

@@ -49,8 +49,9 @@ class TestCacheState:
 
     def test_history_limit_forces_reset(self):
         state = CacheState(history_limit=2)
-        for _ in range(5):
-            state.update([V1])
+        for vrps in ([V1], [V2], [V1, V2], [V3], [V1, V3]):
+            state.update(vrps)
+        assert state.serial == 5
         assert state.diff_since(1) is None
         assert state.diff_since(state.serial) == []
 
@@ -58,6 +59,24 @@ class TestCacheState:
         state = CacheState()
         state.update([V1])
         assert state.diff_since(99) is None
+
+    def test_noop_update_coalesced(self):
+        state = CacheState()
+        state.update([V1, V2])
+        diff = state.update([V2, V1])  # same set, different order
+        assert diff.empty
+        assert state.serial == 1
+        # No empty diff polluting the history either.
+        assert state.diff_since(0) is not None
+        assert all(not d.empty for d in state.diff_since(0))
+
+    def test_noop_updates_do_not_flush_history(self):
+        state = CacheState(history_limit=2)
+        state.update([V1])
+        state.update([V1, V2])
+        for _ in range(10):
+            state.update([V1, V2])  # idle refreshes
+        assert state.diff_since(1) is not None  # history survived
 
 
 @pytest.fixture()
@@ -85,8 +104,8 @@ class TestLiveProtocol:
         with RtrClient(server.host, server.port) as client:
             client.sync()
             before = server.state.serial
-            server.update([V1, V2])  # identical set
-            assert server.state.serial == before + 1
+            server.update([V1, V2])  # identical set: coalesced
+            assert server.state.serial == before
             # A fresh sync still works and converges to the same set.
             client.sync()
             assert client.vrps == {V1, V2}

@@ -138,6 +138,75 @@ class TestStreamDecoding:
             decode_pdu(full[:10])
         assert info.value.missing == len(full) - 10
 
+    def test_byte_at_a_time_feeding(self):
+        """Regression: frames split at every offset — including mid-header
+        — must survive the buffer-and-retry loop every consumer runs."""
+        blob = b"".join(encode_pdu(pdu) for pdu in ALL_PDUS)
+        buffer = b""
+        decoded = []
+        for offset in range(len(blob)):
+            buffer += blob[offset:offset + 1]
+            pdus, buffer = decode_stream(buffer)
+            decoded.extend(pdus)
+        assert decoded == ALL_PDUS
+        assert buffer == b""
+
+    def test_mid_header_split_single_frame(self):
+        """A lone frame cut inside its 8-byte header decodes nothing and
+        preserves every byte for the next read."""
+        frame = encode_pdu(SerialNotifyPdu(3, 9))
+        for cut in range(1, 8):
+            pdus, rest = decode_stream(frame[:cut])
+            assert pdus == []
+            assert rest == frame[:cut]
+            # ...and completing the frame yields exactly the PDU.
+            pdus, rest = decode_stream(rest + frame[cut:])
+            assert pdus == [SerialNotifyPdu(3, 9)]
+            assert rest == b""
+
+    def test_mid_header_split_after_complete_frame(self):
+        """A complete frame followed by a partial header: the complete
+        one decodes, the partial header is returned untouched."""
+        head = encode_pdu(ResetQueryPdu())
+        tail = encode_pdu(EndOfDataPdu(1, 7))
+        for cut in range(1, 8):
+            pdus, rest = decode_stream(head + tail[:cut])
+            assert pdus == [ResetQueryPdu()]
+            assert rest == tail[:cut]
+
+    def test_pdu_buffer_incremental(self):
+        from repro.rtr import PduBuffer
+
+        blob = b"".join(encode_pdu(pdu) for pdu in ALL_PDUS)
+        buffer = PduBuffer()
+        decoded = []
+        for offset in range(0, len(blob), 3):  # odd chunking, mid-header
+            buffer.feed(blob[offset:offset + 3])
+            while (pdu := buffer.next()) is not None:
+                decoded.append(pdu)
+        assert decoded == ALL_PDUS
+        assert buffer.next() is None
+
+    def test_pdu_buffer_raises_on_garbage(self):
+        from repro.rtr import PduBuffer
+
+        buffer = PduBuffer()
+        buffer.feed(b"\xff" * 8)
+        with pytest.raises(PduError):
+            buffer.next()
+
+    def test_decode_pdu_at_offset(self):
+        """decode_pdu(data, offset) reads mid-buffer without slicing."""
+        blob = b"".join(encode_pdu(pdu) for pdu in ALL_PDUS)
+        offset = 0
+        for expected in ALL_PDUS:
+            pdu, consumed = decode_pdu(blob, offset)
+            assert pdu == expected
+            offset += consumed
+        assert offset == len(blob)
+        with pytest.raises(IncompletePdu):
+            decode_pdu(blob, offset)
+
 
 class TestErrors:
     def test_wrong_version(self):

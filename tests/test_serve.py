@@ -1,0 +1,670 @@
+"""Tests for the repro.serve subsystem: async RTR fan-out, frame
+caching, the RFC 6811 query service, metrics, and the HTTP front end.
+
+Async paths run under ``asyncio.run`` from synchronous tests (the
+environment has no pytest-asyncio); the threaded facade and LocalCache
+wiring are exercised with the ordinary synchronous RTR client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.bgp import ValidationState
+from repro.core import LocalCache
+from repro.netbase import Prefix
+from repro.rpki import Vrp
+from repro.rtr import RtrClient
+from repro.rtr.session import CacheState
+from repro.serve import (
+    AsyncRtrClient,
+    AsyncRtrServer,
+    FrameCache,
+    LatencyHistogram,
+    QueryHttpServer,
+    QueryService,
+    ServeMetrics,
+    ThreadedRtrServer,
+)
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+V1 = Vrp(p("168.122.0.0/16"), 24, 111)
+V2 = Vrp(p("10.0.0.0/8"), 8, 65000)
+V3 = Vrp(p("2001:db8::/32"), 48, 7)
+
+#: The paper's §4 running example: AS 31283's prefix with a loose
+#: maxLength (87.254.32.0/19-20) plus a sibling minimal ROA.
+PAPER_ROAS = [
+    Vrp(p("87.254.32.0/19"), 20, 31283),
+    Vrp(p("87.254.32.0/21"), 21, 31283),
+]
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_histogram_quantiles(self):
+        histogram = LatencyHistogram()
+        for _ in range(90):
+            histogram.observe(2e-6)    # 2 us
+        for _ in range(10):
+            histogram.observe(500e-6)  # 500 us
+        snap = histogram.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50_us"] <= 8
+        assert snap["p99_us"] >= 256
+
+    def test_observe_many_matches_repeated_observe(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for _ in range(1000):
+            a.observe(3e-6)
+        b.observe_many(3e-6, 1000)
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        assert snap_a["count"] == snap_b["count"] == 1000
+        assert snap_a["p50_us"] == snap_b["p50_us"]
+        assert snap_a["p99_us"] == snap_b["p99_us"]
+        assert snap_a["mean_us"] == pytest.approx(snap_b["mean_us"])
+
+    def test_counters_and_snapshot(self):
+        metrics = ServeMetrics()
+        metrics.increment("pdus_sent", 5)
+        metrics.increment("connections_opened")
+        assert metrics["pdus_sent"] == 5
+        assert metrics.connections_active == 1
+        snap = metrics.snapshot()
+        assert snap["pdus_sent"] == 5
+        assert snap["query_latency"]["count"] == 0
+
+
+# ----------------------------------------------------------------------
+# Frame cache
+# ----------------------------------------------------------------------
+
+
+class TestFrameCache:
+    def test_full_table_encoded_once(self):
+        metrics = ServeMetrics()
+        state = CacheState()
+        state.update([V1, V2, V3])
+        frames = FrameCache(state, metrics=metrics)
+        first, count = frames.full_table()
+        for _ in range(99):
+            again, _ = frames.full_table()
+            assert again is first  # same object, not just equal bytes
+        assert count == 3 + 2  # cache response + VRPs + end of data
+        assert metrics["frame_encodes"] == 1
+        assert metrics["frame_hits"] == 99
+
+    def test_new_serial_new_frame(self):
+        state = CacheState()
+        state.update([V1])
+        frames = FrameCache(state)
+        old, _ = frames.full_table()
+        state.update([V1, V2])
+        new, _ = frames.full_table()
+        assert new != old
+
+    def test_diff_frame_cached_and_none_past_history(self):
+        metrics = ServeMetrics()
+        state = CacheState(history_limit=2)
+        for vrps in ([V1], [V1, V2], [V2], [V2, V3]):
+            state.update(vrps)
+        frames = FrameCache(state, metrics=metrics)
+        assert frames.diff(1) is None  # beyond history: cache reset
+        frame, count = frames.diff(2)
+        assert frames.diff(2)[0] is frame
+        assert metrics["frame_encodes"] == 1
+        # serial 2 held {V1, V2}; now {V2, V3}: announce V3, withdraw V1.
+        assert count == 2 + 2
+
+    def test_eviction_keeps_only_current_serial(self):
+        state = CacheState(history_limit=2)
+        frames = FrameCache(state)
+        for index in range(12):
+            state.update([V1, Vrp(p("10.0.0.0/8"), 8 + index, 65000)])
+            frames.full_table()
+            frames.notify()
+            frames.diff(state.serial - 1)
+        # Lookups only ever hit the current serial, so exactly one
+        # full-table frame (the expensive one) may survive.
+        assert set(frames._full) == {state.serial}
+        assert set(frames._notify) == {state.serial}
+        assert all(key[1] == state.serial for key in frames._diff)
+
+
+# ----------------------------------------------------------------------
+# Query service: RFC 6811 validity states (satellite: §4 example ROAs)
+# ----------------------------------------------------------------------
+
+
+class TestQueryServiceRfc6811:
+    @pytest.fixture()
+    def service(self):
+        return QueryService(PAPER_ROAS)
+
+    def test_valid_at_roa_prefix(self, service):
+        result = service.validity(31283, p("87.254.32.0/19"))
+        assert result.state is ValidationState.VALID
+        assert result.reason == "matched"
+        assert result.matched == PAPER_ROAS[0]
+
+    def test_valid_within_max_length(self, service):
+        # The loose maxLength 20 authorizes both /20 halves.
+        for text in ("87.254.32.0/20", "87.254.48.0/20"):
+            assert service.validity(31283, p(text)).state is ValidationState.VALID
+
+    def test_invalid_length_beyond_max_length(self, service):
+        # /22 is covered by the /19-20 ROA but longer than every
+        # matching maxLength: the §4 subprefix-hijack boundary.
+        result = service.validity(31283, p("87.254.40.0/22"))
+        assert result.state is ValidationState.INVALID
+        assert result.reason == "invalid-length"
+        assert result.matched is None
+        assert PAPER_ROAS[0] in result.covering
+
+    def test_invalid_origin_forged(self, service):
+        result = service.validity(666, p("87.254.32.0/20"))
+        assert result.state is ValidationState.INVALID
+        assert result.reason == "invalid-origin"
+
+    def test_not_found_uncovered(self, service):
+        result = service.validity(31283, p("203.0.113.0/24"))
+        assert result.state is ValidationState.NOTFOUND
+        assert result.reason == "not-found"
+        assert result.covering == ()
+
+    def test_sibling_minimal_roa_still_valid(self, service):
+        # 87.254.32.0/21 has its own minimal ROA: valid despite being
+        # longer than the /19 ROA's maxLength.
+        result = service.validity(31283, p("87.254.32.0/21"))
+        assert result.state is ValidationState.VALID
+        assert result.matched == PAPER_ROAS[1]
+
+    def test_agrees_with_router_side_index(self, service):
+        from repro.bgp import VrpIndex
+
+        index = VrpIndex(PAPER_ROAS)
+        cases = [
+            (31283, "87.254.32.0/19"), (31283, "87.254.32.0/20"),
+            (31283, "87.254.40.0/22"), (666, "87.254.32.0/20"),
+            (31283, "87.254.32.0/21"), (1, "1.2.3.0/24"),
+        ]
+        for asn, text in cases:
+            assert (service.validity(asn, p(text)).state
+                    is index.validate(p(text), asn))
+
+    def test_batch_matches_singles(self, service):
+        queries = [(31283, p("87.254.32.0/20")), (666, p("87.254.32.0/20")),
+                   (31283, p("203.0.113.0/24"))]
+        batch = service.validity_batch(queries)
+        singles = [service.validity(asn, prefix) for asn, prefix in queries]
+        assert [r.state for r in batch] == [r.state for r in singles]
+        assert service.metrics["queries"] == len(queries) * 2
+        assert service.metrics["batch_queries"] == 1
+
+    def test_reload_swaps_snapshot(self, service):
+        assert service.validity(65000, p("10.1.0.0/16")).state \
+            is ValidationState.NOTFOUND
+        service.reload([V2], serial=9)
+        assert service.serial == 9
+        assert len(service) == 1
+        assert service.validity(65000, p("10.0.0.0/8")).state \
+            is ValidationState.VALID
+
+    def test_to_json_shape(self, service):
+        document = service.validity(31283, p("87.254.40.0/22")).to_json()
+        assert document["state"] == "invalid"
+        assert document["reason"] == "invalid-length"
+        assert document["prefix"] == "87.254.40.0/22"
+        assert "87.254.32.0/19-20 => AS31283" in document["covering"]
+
+    def test_duplicate_vrps_deduplicated(self):
+        service = QueryService(PAPER_ROAS + PAPER_ROAS)
+        assert len(service) == len(PAPER_ROAS)
+        result = service.validity(31283, p("87.254.40.0/22"))
+        assert list(result.covering).count(PAPER_ROAS[0]) == 1
+
+    def test_ipv6_queries(self):
+        service = QueryService([V3])
+        assert service.validity(7, p("2001:db8:1::/48")).state \
+            is ValidationState.VALID
+        assert service.validity(7, p("2001:db8::/64")).state \
+            is ValidationState.INVALID
+
+
+# ----------------------------------------------------------------------
+# Async RTR server
+# ----------------------------------------------------------------------
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAsyncRtrServer:
+    def test_fanout_encodes_once(self):
+        async def scenario():
+            metrics = ServeMetrics()
+            async with AsyncRtrServer([V1, V2, V3], metrics=metrics) as server:
+                clients = [AsyncRtrClient() for _ in range(32)]
+                for client in clients:
+                    await client.connect(server.host, server.port)
+                await asyncio.gather(*(c.sync() for c in clients))
+                try:
+                    assert all(c.vrps == {V1, V2, V3} for c in clients)
+                    assert metrics["frame_encodes"] == 1
+                    assert metrics["frame_hits"] == 31
+                    assert metrics["reset_queries"] == 32
+                finally:
+                    for client in clients:
+                        await client.close()
+
+        run(scenario())
+
+    def test_update_broadcasts_notify_and_incremental_sync(self):
+        async def scenario():
+            async with AsyncRtrServer([V1, V2]) as server:
+                a, b = AsyncRtrClient(), AsyncRtrClient()
+                await a.connect(server.host, server.port)
+                await b.connect(server.host, server.port)
+                await a.sync()
+                await b.sync()
+                diff = await server.update([V1, V3])
+                assert set(diff.announced) == {V3}
+                await a.wait_for_notify()
+                await b.wait_for_notify()
+                await a.sync()
+                await b.sync()
+                assert a.vrps == b.vrps == {V1, V3}
+                await a.close()
+                await b.close()
+
+        run(scenario())
+
+    def test_noop_update_is_silent(self):
+        async def scenario():
+            metrics = ServeMetrics()
+            async with AsyncRtrServer([V1], metrics=metrics) as server:
+                client = AsyncRtrClient()
+                await client.connect(server.host, server.port)
+                await client.sync()
+                before = server.state.serial
+                diff = await server.update([V1])
+                assert diff.empty
+                assert server.state.serial == before
+                assert metrics["notifies_sent"] == 0
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.wait_for_notify(timeout=0.2)
+                await client.close()
+
+        run(scenario())
+
+    def test_stale_serial_and_session_mismatch_reset(self):
+        async def scenario():
+            async with AsyncRtrServer([V1], history_limit=2) as server:
+                client = AsyncRtrClient()
+                await client.connect(server.host, server.port)
+                await client.sync()
+                for index in range(5):
+                    await server.update(
+                        [V1, Vrp(p("10.0.0.0/8"), 9 + index, 65000)])
+                await client.sync()  # serial query -> cache reset -> reset
+                assert client.vrps == server.state.vrps
+                client.session_id = 999
+                await client.sync()
+                assert client.vrps == server.state.vrps
+                await client.close()
+
+        run(scenario())
+
+    def test_unsupported_pdu_gets_error_report(self):
+        from repro.rtr import ErrorReportPdu, SerialNotifyPdu, encode_pdu
+
+        async def scenario():
+            async with AsyncRtrServer([V1]) as server:
+                client = AsyncRtrClient()
+                await client.connect(server.host, server.port)
+                client._writer.write(encode_pdu(SerialNotifyPdu(1, 1)))
+                pdu = await client._recv_pdu()
+                assert isinstance(pdu, ErrorReportPdu)
+                assert pdu.error_code == ErrorReportPdu.UNSUPPORTED_PDU
+                await client.close()
+
+        run(scenario())
+
+    def test_corrupt_bytes_get_error_report(self):
+        async def scenario():
+            async with AsyncRtrServer([V1]) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                writer.write(b"\x09" + b"\x00" * 7)  # bad version
+                data = await reader.read(4096)
+                assert data[1] == 10  # Error Report PDU type
+                writer.close()
+
+        run(scenario())
+
+    def test_close_with_connected_client_does_not_hang(self):
+        # Regression: since Python 3.12.1 Server.wait_closed() waits
+        # for connection handlers; close() must kick idle clients first.
+        async def scenario():
+            server = AsyncRtrServer([V1])
+            await server.start()
+            client = AsyncRtrClient()
+            await client.connect(server.host, server.port)
+            await client.sync()  # leave the connection open and idle
+            await asyncio.wait_for(server.close(), timeout=5)
+            await client.close()
+
+        run(scenario())
+
+
+class TestThreadedFacadeAndPipeline:
+    def test_sync_client_against_threaded_server(self):
+        with ThreadedRtrServer([V1, V2]) as server:
+            with RtrClient(server.host, server.port) as client:
+                client.sync()
+                assert client.vrps == {V1, V2}
+                server.update([V2, V3])
+                client.wait_for_notify()
+                client.sync()
+                assert client.vrps == {V2, V3}
+
+    def test_local_cache_async_backend(self):
+        with LocalCache() as cache:
+            cache.refresh_from_vrps([V1, V2])
+            server = cache.serve()  # default async backend
+            assert isinstance(server, ThreadedRtrServer)
+            with RtrClient(server.host, server.port) as client:
+                client.sync()
+                assert client.vrps == {V1, V2}
+                cache.refresh_from_vrps([V3])
+                client.wait_for_notify()
+                client.sync()
+                assert client.vrps == {V3}
+
+    def test_local_cache_legacy_backend(self):
+        from repro.rtr.cache import RtrCacheServer
+
+        with LocalCache() as cache:
+            cache.refresh_from_vrps([V1])
+            server = cache.serve(backend="thread")
+            assert isinstance(server, RtrCacheServer)
+            with RtrClient(server.host, server.port) as client:
+                client.sync()
+                assert client.vrps == {V1}
+
+    def test_unknown_backend_rejected(self):
+        with LocalCache() as cache:
+            with pytest.raises(ValueError):
+                cache.serve(backend="carrier-pigeon")
+
+    def test_failed_start_does_not_poison_later_serves(self):
+        import socket
+
+        blocker = socket.create_server(("127.0.0.1", 0))
+        _, taken_port = blocker.getsockname()[:2]
+        try:
+            with LocalCache() as cache:
+                cache.refresh_from_vrps([V1])
+                with pytest.raises(OSError):
+                    cache.serve(port=taken_port)
+                server = cache.serve()  # retry on an ephemeral port
+                with RtrClient(server.host, server.port) as client:
+                    client.sync()
+                    assert client.vrps == {V1}
+        finally:
+            blocker.close()
+
+    def test_backend_mismatch_on_running_server_rejected(self):
+        with LocalCache() as cache:
+            cache.serve()  # async backend
+            with pytest.raises(ValueError, match="already running"):
+                cache.serve(backend="thread")
+            with pytest.raises(ValueError):
+                cache.serve(backend="carrier-pigeon")
+            cache.serve()  # same backend: fine, returns the server
+
+    def test_fanout_encode_count_via_threaded_server(self):
+        table = [Vrp(Prefix(4, (10 << 24) + (i << 8), 24), 24, 65000 + i % 100)
+                 for i in range(500)]
+        with ThreadedRtrServer(table) as server:
+            clients = [RtrClient(server.host, server.port) for _ in range(8)]
+            try:
+                for client in clients:
+                    client.sync()
+                    assert len(client.vrps) == 500
+            finally:
+                for client in clients:
+                    client.close()
+            assert server.metrics["frame_encodes"] == 1
+            assert server.metrics["frame_hits"] == 7
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+
+
+async def http_request(host, port, request: bytes) -> tuple[int, dict]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(request)
+    status, document = await read_response(reader)
+    writer.close()
+    return status, document
+
+
+async def read_response(reader) -> tuple[int, dict]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":")[1])
+    body = await reader.readexactly(length)
+    return status, json.loads(body)
+
+
+class TestHttpServer:
+    def run_with_server(self, scenario):
+        async def wrapper():
+            service = QueryService(PAPER_ROAS + [V1, V2])
+            async with QueryHttpServer(service) as http:
+                await scenario(http)
+
+        run(wrapper())
+
+    def test_get_validity_each_state(self):
+        cases = [
+            ("asn=31283&prefix=87.254.32.0%2F20", "valid", "matched"),
+            ("asn=31283&prefix=87.254.40.0%2F22", "invalid", "invalid-length"),
+            ("asn=666&prefix=87.254.32.0%2F20", "invalid", "invalid-origin"),
+            ("asn=1&prefix=203.0.113.0%2F24", "notfound", "not-found"),
+        ]
+
+        async def scenario(http):
+            for query, state, reason in cases:
+                status, document = await http_request(
+                    http.host, http.port,
+                    f"GET /validity?{query} HTTP/1.1\r\n"
+                    f"Connection: close\r\n\r\n".encode())
+                assert status == 200
+                assert document["state"] == state
+                assert document["reason"] == reason
+
+        self.run_with_server(scenario)
+
+    def test_post_batch(self):
+        async def scenario(http):
+            body = json.dumps({"queries": [
+                {"asn": 31283, "prefix": "87.254.32.0/20"},
+                {"asn": "AS666", "prefix": "87.254.32.0/20"},
+            ]}).encode()
+            request = (
+                b"POST /validity HTTP/1.1\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body)
+            status, document = await http_request(http.host, http.port, request)
+            assert status == 200
+            states = [r["state"] for r in document["results"]]
+            assert states == ["valid", "invalid"]
+
+        self.run_with_server(scenario)
+
+    def test_keep_alive_pipeline_and_metrics(self):
+        async def scenario(http):
+            reader, writer = await asyncio.open_connection(http.host, http.port)
+            writer.write(b"GET /validity?asn=111&prefix=168.122.0.0%2F16 "
+                         b"HTTP/1.1\r\n\r\n")
+            status, document = await read_response(reader)
+            assert status == 200 and document["state"] == "valid"
+            writer.write(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n")
+            status, metrics = await read_response(reader)
+            assert status == 200
+            assert metrics["http_requests"] == 2
+            assert metrics["queries"] == 1
+            writer.close()
+
+        self.run_with_server(scenario)
+
+    def test_status_endpoint(self):
+        async def scenario(http):
+            status, document = await http_request(
+                http.host, http.port,
+                b"GET /status HTTP/1.1\r\nConnection: close\r\n\r\n")
+            assert status == 200
+            assert document["vrps"] == len(PAPER_ROAS) + 2
+
+        self.run_with_server(scenario)
+
+    def test_bad_requests(self):
+        async def scenario(http):
+            for request, expected in [
+                (b"GET /validity?asn=xyz&prefix=10.0.0.0%2F8 HTTP/1.1"
+                 b"\r\nConnection: close\r\n\r\n", 400),
+                (b"GET /validity?asn=1 HTTP/1.1\r\nConnection: close\r\n\r\n",
+                 400),
+                (b"GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n", 404),
+                (b"DELETE /validity HTTP/1.1\r\nConnection: close\r\n\r\n",
+                 405),
+            ]:
+                status, document = await http_request(
+                    http.host, http.port, request)
+                assert status == expected
+                assert "error" in document
+
+        self.run_with_server(scenario)
+
+    def test_malformed_request_line_gets_400(self):
+        async def scenario(http):
+            status, document = await http_request(
+                http.host, http.port, b"garbage\r\n\r\n")
+            assert status == 400
+            assert "malformed request line" in document["error"]
+
+        self.run_with_server(scenario)
+
+    def test_bad_content_length_gets_400(self):
+        async def scenario(http):
+            for value in (b"abc", b"-5"):
+                status, document = await http_request(
+                    http.host, http.port,
+                    b"POST /validity HTTP/1.1\r\nContent-Length: " + value
+                    + b"\r\n\r\n")
+                assert status == 400
+                assert "Content-Length" in document["error"]
+
+        self.run_with_server(scenario)
+
+    def test_large_batch_offloaded_to_executor(self):
+        # Above the executor threshold the loop stays free; results
+        # must be identical either way.
+        async def scenario(http):
+            queries = [{"asn": 31283, "prefix": "87.254.32.0/20"}] * 600
+            body = json.dumps({"queries": queries}).encode()
+            request = (
+                b"POST /validity HTTP/1.1\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body)
+            status, document = await http_request(http.host, http.port, request)
+            assert status == 200
+            assert len(document["results"]) == 600
+            assert all(r["state"] == "valid" for r in document["results"])
+
+        self.run_with_server(scenario)
+
+    def test_oversized_batch_rejected(self):
+        from repro.serve import http as http_module
+
+        async def scenario(http):
+            queries = [{"asn": 1, "prefix": "10.0.0.0/8"}] * (
+                http_module._MAX_BATCH_QUERIES + 1)
+            body = json.dumps({"queries": queries}).encode()
+            request = (
+                b"POST /validity HTTP/1.1\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body)
+            status, document = await http_request(http.host, http.port, request)
+            # Either the body-size cap or the batch cap may fire first
+            # depending on JSON size; both must be a clean 400.
+            assert status == 400
+            assert "error" in document
+
+        self.run_with_server(scenario)
+
+    def test_oversized_head_gets_400(self):
+        async def scenario(http):
+            request = (b"GET /status HTTP/1.1\r\nX-Pad: "
+                       + b"a" * 80000 + b"\r\n\r\n")
+            status, document = await http_request(http.host, http.port, request)
+            assert status == 400
+            assert "too large" in document["error"]
+
+        self.run_with_server(scenario)
+
+    def test_connection_close_is_case_insensitive(self):
+        async def scenario(http):
+            reader, writer = await asyncio.open_connection(http.host, http.port)
+            writer.write(b"GET /status HTTP/1.1\r\nConnection: Close\r\n\r\n")
+            raw = await asyncio.wait_for(reader.read(), timeout=5)  # to EOF
+            assert raw.startswith(b"HTTP/1.1 200")
+            assert b"Connection: close" in raw
+            writer.close()
+
+        self.run_with_server(scenario)
+
+    def test_http_10_defaults_to_close(self):
+        async def scenario(http):
+            reader, writer = await asyncio.open_connection(http.host, http.port)
+            writer.write(b"GET /status HTTP/1.0\r\n\r\n")
+            raw = await asyncio.wait_for(reader.read(), timeout=5)  # to EOF
+            assert raw.startswith(b"HTTP/1.1 200")
+            assert b"Connection: close" in raw
+            writer.close()
+
+        self.run_with_server(scenario)
+
+    def test_close_with_idle_keep_alive_client_does_not_hang(self):
+        # Regression twin of the RTR close fix: an idle keep-alive
+        # connection must not stall wait_closed() on Python 3.12.1+.
+        async def scenario():
+            service = QueryService(PAPER_ROAS)
+            http = QueryHttpServer(service)
+            await http.start()
+            reader, writer = await asyncio.open_connection(http.host, http.port)
+            writer.write(b"GET /status HTTP/1.1\r\n\r\n")
+            await read_response(reader)  # handler now idles in readuntil
+            await asyncio.wait_for(http.close(), timeout=5)
+            writer.close()
+
+        run(scenario())
