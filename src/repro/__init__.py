@@ -18,6 +18,11 @@ The package layers, bottom to top:
   BGP tables, ROA issuance, weekly snapshots, archive formats.
 * :mod:`repro.analysis` — the measurement suite behind every table and
   figure of the paper.
+* :mod:`repro.exper` — the unified, parallel experiment engine: a
+  declarative scenario grammar plus serial/multiprocessing runners and
+  bootstrap-CI aggregation behind every statistical study.
+* :mod:`repro.serve` — the serving tier: async high-fanout RTR
+  distribution and the origin-validation query service.
 """
 
 __version__ = "1.0.0"

@@ -8,20 +8,29 @@ stop (plain subprefix hijacks, and forged-origin subprefix hijacks
 against minimal ROAs).  Against a non-minimal ROA, validation never
 helps — the attack is valid — which is the paper's point rendered as a
 flat line at 100%.
+
+:func:`run_deployment_sweep` is a thin adapter over the
+:mod:`repro.exper` engine: the sweep is one
+:class:`~repro.exper.ExperimentSpec` whose ``fractions`` axis is the
+deployment level (stream seeding keeps the numbers bit-identical to
+the nested loop this replaced).  Pass ``executor="process"`` to
+spread the trials over cores.
 """
 
 from __future__ import annotations
 
-import random
-import statistics
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
-from ..bgp.attacks import AttackKind, AttackScenario, evaluate_attack
-from ..bgp.origin_validation import VrpIndex
 from ..bgp.topology import AsTopology
+from ..exper import (
+    ExperimentRunner,
+    ExperimentSpec,
+    MaxLengthLooseRoa,
+    MinimalRoa,
+    ScenarioCell,
+)
 from ..netbase import Prefix
-from ..rpki.vrp import Vrp
 
 __all__ = ["DeploymentPoint", "DeploymentSweep", "run_deployment_sweep"]
 
@@ -58,6 +67,28 @@ class DeploymentSweep:
         return "\n".join(lines)
 
 
+def deployment_sweep_spec(
+    *,
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    samples: int = 20,
+    seed: int = 0,
+    victim_prefix: Prefix = Prefix.parse("168.122.0.0/16"),
+) -> ExperimentSpec:
+    """The sweep as a declarative spec: three cells × the fraction axis."""
+    return ExperimentSpec(
+        cells=(
+            ScenarioCell("subprefix-hijack", MinimalRoa()),
+            ScenarioCell("forged-origin-subprefix", MinimalRoa()),
+            ScenarioCell("forged-origin-subprefix", MaxLengthLooseRoa()),
+        ),
+        trials=samples,
+        seed=seed,
+        fractions=tuple(fractions),
+        victim_prefix=victim_prefix,
+        seeding="stream",
+    )
+
+
 def run_deployment_sweep(
     topology: AsTopology,
     *,
@@ -65,64 +96,34 @@ def run_deployment_sweep(
     samples: int = 20,
     seed: int = 0,
     victim_prefix: Prefix = Prefix.parse("168.122.0.0/16"),
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> DeploymentSweep:
     """Sweep validation deployment against the three attack variants.
 
     Validating ASes are sampled uniformly per trial; each (victim,
     attacker) pair is a stub pair, as in the hijack study.
     """
-    rng = random.Random(seed)
-    stubs = sorted(topology.stub_ases())
-    all_ases = sorted(topology.ases)
-    attack_prefix = Prefix(
-        victim_prefix.family, victim_prefix.value, victim_prefix.length + 8
+    spec = deployment_sweep_spec(
+        fractions=fractions, samples=samples, seed=seed,
+        victim_prefix=victim_prefix,
     )
-
-    points = []
-    for fraction in fractions:
-        plain: list[float] = []
-        versus_minimal: list[float] = []
-        versus_loose: list[float] = []
-        for _ in range(samples):
-            victim, attacker = rng.sample(stubs, 2)
-            validator_count = round(fraction * len(all_ases))
-            validators = frozenset(rng.sample(all_ases, validator_count))
-            minimal = VrpIndex([Vrp(victim_prefix, victim_prefix.length, victim)])
-            loose = VrpIndex([Vrp(victim_prefix, attack_prefix.length, victim)])
-            tie_rng = random.Random(rng.getrandbits(32))
-
-            subprefix = AttackScenario(
-                AttackKind.SUBPREFIX_HIJACK, victim, attacker,
-                victim_prefix, attack_prefix,
-            )
-            forged = AttackScenario(
-                AttackKind.FORGED_ORIGIN_SUBPREFIX, victim, attacker,
-                victim_prefix, attack_prefix,
-            )
-            plain.append(
-                evaluate_attack(
-                    topology, subprefix, vrp_index=minimal,
-                    validating_ases=validators, rng=tie_rng,
-                ).attacker_fraction
-            )
-            versus_minimal.append(
-                evaluate_attack(
-                    topology, forged, vrp_index=minimal,
-                    validating_ases=validators, rng=tie_rng,
-                ).attacker_fraction
-            )
-            versus_loose.append(
-                evaluate_attack(
-                    topology, forged, vrp_index=loose,
-                    validating_ases=validators, rng=tie_rng,
-                ).attacker_fraction
-            )
-        points.append(
-            DeploymentPoint(
-                validating_fraction=fraction,
-                subprefix_hijack=statistics.mean(plain),
-                forged_subprefix_vs_minimal=statistics.mean(versus_minimal),
-                forged_subprefix_vs_nonminimal=statistics.mean(versus_loose),
-            )
+    result = ExperimentRunner(
+        topology, spec, executor=executor, workers=workers
+    ).run()
+    points = tuple(
+        DeploymentPoint(
+            validating_fraction=fraction,
+            subprefix_hijack=result.cell(
+                "subprefix-hijack/minimal", fraction
+            ).mean,
+            forged_subprefix_vs_minimal=result.cell(
+                "forged-origin-subprefix/minimal", fraction
+            ).mean,
+            forged_subprefix_vs_nonminimal=result.cell(
+                "forged-origin-subprefix/maxlength-loose", fraction
+            ).mean,
         )
-    return DeploymentSweep(points=tuple(points), samples_per_point=samples)
+        for fraction in spec.fractions
+    )
+    return DeploymentSweep(points=points, samples_per_point=samples)

@@ -10,23 +10,29 @@ The paper's argument rests on three comparative claims:
    ([16]);
 3. plain (sub)prefix hijacks are RPKI-invalid and fully filtered.
 
-:func:`run_hijack_study` samples (victim, attacker) pairs on a
-synthetic topology and measures the attacker's average capture for
-each attack kind under each ROA configuration, reproducing the
-comparison from first principles.
+:func:`run_hijack_study` is a thin adapter over the
+:mod:`repro.exper` engine: it declares the four historical grid cells
+as an :class:`~repro.exper.ExperimentSpec` (stream seeding, so the
+numbers are bit-identical to the hand-rolled loop this replaced) and
+averages each cell's capture.  Pass ``executor="process"`` to spread
+the trials over cores.
 """
 
 from __future__ import annotations
 
-import random
-import statistics
 from dataclasses import dataclass
+from typing import Optional
 
-from ..bgp.attacks import AttackKind, AttackScenario, evaluate_attack
-from ..bgp.origin_validation import VrpIndex
 from ..bgp.topology import AsTopology
+from ..exper import (
+    ExperimentRunner,
+    ExperimentSpec,
+    MaxLengthLooseRoa,
+    MinimalRoa,
+    NoRoa,
+    ScenarioCell,
+)
 from ..netbase import Prefix
-from ..rpki.vrp import Vrp
 
 __all__ = ["HijackStudyResult", "run_hijack_study"]
 
@@ -74,12 +80,39 @@ class HijackStudyResult:
         ]
 
 
+def hijack_study_spec(
+    *,
+    samples: int = 50,
+    seed: int = 0,
+    victim_prefix: Prefix = Prefix.parse("168.122.0.0/16"),
+) -> ExperimentSpec:
+    """The study as a declarative spec: the four historical cells.
+
+    Stream seeding replays the exact RNG consumption of the original
+    sequential loop — same pairs, same tie-breaks, same numbers.
+    """
+    return ExperimentSpec(
+        cells=(
+            ScenarioCell("subprefix-hijack", NoRoa()),
+            ScenarioCell("forged-origin-subprefix", MaxLengthLooseRoa()),
+            ScenarioCell("forged-origin-subprefix", MinimalRoa()),
+            ScenarioCell("forged-origin", MinimalRoa()),
+        ),
+        trials=samples,
+        seed=seed,
+        victim_prefix=victim_prefix,
+        seeding="stream",
+    )
+
+
 def run_hijack_study(
     topology: AsTopology,
     *,
     samples: int = 50,
     seed: int = 0,
     victim_prefix: Prefix = Prefix.parse("168.122.0.0/16"),
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> HijackStudyResult:
     """Sample attacks between random stub pairs and average capture.
 
@@ -89,63 +122,23 @@ def run_hijack_study(
     ROA ``(p, len(p))`` or a non-minimal ``(p, maxLength 24)``, and
     measures each attack variant's capture fraction.
     """
-    rng = random.Random(seed)
-    stubs = sorted(topology.stub_ases())
-    if len(stubs) < 2:
+    if len(topology.stub_ases()) < 2:
         raise ValueError("topology has too few stub ASes for a study")
 
-    attack_prefix = Prefix(
-        victim_prefix.family, victim_prefix.value, victim_prefix.length + 8
+    spec = hijack_study_spec(
+        samples=samples, seed=seed, victim_prefix=victim_prefix
     )
-
-    plain: list[float] = []
-    nonminimal: list[float] = []
-    minimal_sub: list[float] = []
-    minimal_same: list[float] = []
-    for _ in range(samples):
-        victim, attacker = rng.sample(stubs, 2)
-        nonminimal_index = VrpIndex(
-            [Vrp(victim_prefix, attack_prefix.length, victim)]
-        )
-        minimal_index = VrpIndex(
-            [Vrp(victim_prefix, victim_prefix.length, victim)]
-        )
-        tie_rng = random.Random(rng.getrandbits(32))
-
-        subprefix = AttackScenario(
-            AttackKind.SUBPREFIX_HIJACK, victim, attacker,
-            victim_prefix, attack_prefix,
-        )
-        forged_sub = AttackScenario(
-            AttackKind.FORGED_ORIGIN_SUBPREFIX, victim, attacker,
-            victim_prefix, attack_prefix,
-        )
-        forged_same = AttackScenario(
-            AttackKind.FORGED_ORIGIN, victim, attacker,
-            victim_prefix, victim_prefix,
-        )
-
-        plain.append(
-            evaluate_attack(topology, subprefix,
-                            rng=tie_rng).attacker_fraction
-        )
-        nonminimal.append(
-            evaluate_attack(topology, forged_sub, vrp_index=nonminimal_index,
-                            rng=tie_rng).attacker_fraction
-        )
-        minimal_sub.append(
-            evaluate_attack(topology, forged_sub, vrp_index=minimal_index,
-                            rng=tie_rng).attacker_fraction
-        )
-        minimal_same.append(
-            evaluate_attack(topology, forged_same, vrp_index=minimal_index,
-                            rng=tie_rng).attacker_fraction
-        )
-
+    result = ExperimentRunner(
+        topology, spec, executor=executor, workers=workers
+    ).run()
     return HijackStudyResult(
         samples=samples,
-        subprefix_no_rpki=statistics.mean(plain),
-        forged_subprefix_nonminimal=statistics.mean(nonminimal),
-        forged_subprefix_minimal=statistics.mean(minimal_sub),
-        forged_origin_minimal=statistics.mean(minimal_same),
+        subprefix_no_rpki=result.cell("subprefix-hijack/none").mean,
+        forged_subprefix_nonminimal=result.cell(
+            "forged-origin-subprefix/maxlength-loose"
+        ).mean,
+        forged_subprefix_minimal=result.cell(
+            "forged-origin-subprefix/minimal"
+        ).mean,
+        forged_origin_minimal=result.cell("forged-origin/minimal").mean,
     )

@@ -15,7 +15,13 @@ from .message import (
     encode_message,
     update_to_announcements,
 )
-from .attacks import AttackKind, AttackOutcome, AttackScenario, evaluate_attack
+from .attacks import (
+    AttackKind,
+    AttackOutcome,
+    AttackScenario,
+    evaluate_attack,
+    evaluate_attack_seeds,
+)
 from .origin_validation import ValidationState, VrpIndex, validate_announcement
 from .rib import AdjRibIn, Rib
 from .session import BgpSessionError, BgpSpeaker
@@ -60,6 +66,7 @@ __all__ = [
     "ValidationState",
     "VrpIndex",
     "evaluate_attack",
+    "evaluate_attack_seeds",
     "propagate_prefix",
     "validate_announcement",
 ]

@@ -25,9 +25,10 @@ hijacked prefix with the victim's covering route.
 
 from __future__ import annotations
 
+import enum
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..netbase import Prefix
 from ..netbase.errors import ReproError
@@ -40,16 +41,52 @@ __all__ = [
     "AttackScenario",
     "AttackOutcome",
     "evaluate_attack",
+    "evaluate_attack_seeds",
 ]
 
 
-class AttackKind:
-    """Names for the four attack variants."""
+class AttackKind(str, enum.Enum):
+    """The four attack variants, as a real enum.
+
+    The string mixin keeps the historical wire/CLI names working:
+    ``AttackKind("forged-origin")`` parses, members compare equal to
+    their name strings, and formatting yields the bare name.
+    """
 
     PREFIX_HIJACK = "prefix-hijack"
     SUBPREFIX_HIJACK = "subprefix-hijack"
     FORGED_ORIGIN = "forged-origin"
     FORGED_ORIGIN_SUBPREFIX = "forged-origin-subprefix"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def coerce(cls, value: "AttackKind | str") -> "AttackKind":
+        """Parse a member from itself or its name; loud on unknowns."""
+        try:
+            return cls(value)
+        except ValueError:
+            raise ReproError(
+                f"unknown attack kind {value!r}; expected one of "
+                f"{[member.value for member in cls]}"
+            ) from None
+
+    @property
+    def forges_origin(self) -> bool:
+        """Does the announcement end in the victim's AS number?"""
+        return self in (
+            AttackKind.FORGED_ORIGIN,
+            AttackKind.FORGED_ORIGIN_SUBPREFIX,
+        )
+
+    @property
+    def is_subprefix(self) -> bool:
+        """Does the attacker announce a strict subprefix?"""
+        return self in (
+            AttackKind.SUBPREFIX_HIJACK,
+            AttackKind.FORGED_ORIGIN_SUBPREFIX,
+        )
 
 
 @dataclass(frozen=True)
@@ -57,7 +94,8 @@ class AttackScenario:
     """One (victim, attacker) experiment.
 
     Attributes:
-        kind: an :class:`AttackKind` name.
+        kind: an :class:`AttackKind` member; historical string names
+            are coerced, unknown names raise :class:`ReproError`.
         victim: the legitimate origin AS.
         attacker: the hijacking AS ("AS m" in the paper).
         victim_prefix: the prefix the victim announces.
@@ -66,13 +104,14 @@ class AttackScenario:
             subprefix attacks).
     """
 
-    kind: str
+    kind: AttackKind
     victim: int
     attacker: int
     victim_prefix: Prefix
     attack_prefix: Prefix
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", AttackKind.coerce(self.kind))
         if not self.victim_prefix.covers(self.attack_prefix):
             raise ReproError(
                 f"attack prefix {self.attack_prefix} outside victim's "
@@ -81,8 +120,7 @@ class AttackScenario:
 
     def attacker_seed(self) -> Seed:
         """The attacker's announcement for this attack kind."""
-        if self.kind in (AttackKind.FORGED_ORIGIN,
-                         AttackKind.FORGED_ORIGIN_SUBPREFIX):
+        if self.kind.forges_origin:
             return Seed.forged_origin(self.attacker, self.victim)
         return Seed.origin(self.attacker)
 
@@ -142,25 +180,60 @@ def evaluate_attack(
     AS we resolve where a packet addressed inside ``attack_prefix``
     ends up, following the AS's most specific route.
     """
-    judged = frozenset(topology.ases) - {scenario.victim, scenario.attacker}
+    fractions, filtered = evaluate_attack_seeds(
+        topology, scenario.victim, scenario.victim_prefix,
+        scenario.attack_prefix, [scenario.attacker_seed()],
+        vrp_index=vrp_index, validating_ases=validating_ases, rng=rng,
+    )
+    return AttackOutcome(
+        scenario=scenario,
+        attacker_fraction=fractions[0],
+        victim_fraction=fractions[1],
+        disconnected_fraction=fractions[2],
+        attack_route_filtered=filtered,
+    )
+
+
+def evaluate_attack_seeds(
+    topology: AsTopology,
+    victim: int,
+    victim_prefix: Prefix,
+    attack_prefix: Prefix,
+    attacker_seeds: Sequence[Seed],
+    *,
+    vrp_index: Optional[VrpIndex] = None,
+    validating_ases: Optional[frozenset[int]] = None,
+    rng: Optional[random.Random] = None,
+) -> tuple[tuple[float, float, float], bool]:
+    """The measurement core, generalized to any attacker seed list.
+
+    The victim honestly originates ``victim_prefix``; every seed in
+    ``attacker_seeds`` (arbitrary paths — forged origins, prepending,
+    several simultaneous attackers) announces ``attack_prefix``.
+    Returns ``((attacker, victim, disconnected) fractions, filtered)``
+    over all judged ASes (everyone outside the cast), resolving each
+    by longest-prefix match as in :func:`evaluate_attack`.
+    """
+    attackers = frozenset(seed.asn for seed in attacker_seeds)
+    judged = frozenset(topology.ases) - {victim} - attackers
     if not judged:
         raise ReproError("topology too small to judge an attack")
 
-    victim_seed = Seed.origin(scenario.victim)
-    attacker_seed = scenario.attacker_seed()
+    victim_seed = Seed.origin(victim)
+    is_subprefix = attack_prefix != victim_prefix
 
-    if scenario.is_subprefix_attack:
+    if is_subprefix:
         covering_routes = propagate_prefix(
-            topology, scenario.victim_prefix, [victim_seed],
+            topology, victim_prefix, [victim_seed],
             vrp_index=vrp_index, validating_ases=validating_ases, rng=rng,
         )
         attack_routes = propagate_prefix(
-            topology, scenario.attack_prefix, [attacker_seed],
+            topology, attack_prefix, list(attacker_seeds),
             vrp_index=vrp_index, validating_ases=validating_ases, rng=rng,
         )
     else:
         combined = propagate_prefix(
-            topology, scenario.victim_prefix, [victim_seed, attacker_seed],
+            topology, victim_prefix, [victim_seed, *attacker_seeds],
             vrp_index=vrp_index, validating_ases=validating_ases, rng=rng,
         )
         covering_routes = combined
@@ -173,25 +246,38 @@ def evaluate_attack(
         route = _preferred_route(asn, attack_routes, covering_routes)
         if route is None:
             disconnected += 1
-        elif route.seed == scenario.attacker:
+        elif route.seed in attackers:
             attacker_count += 1
         else:
             victim_count += 1
 
     total = len(judged)
-    filtered = scenario.is_subprefix_attack and not attack_routes
-    if vrp_index is not None and not scenario.is_subprefix_attack:
-        filtered = (
-            vrp_index.validate(scenario.attack_prefix,
-                               attacker_seed.path[-1])
-            is ValidationState.INVALID
+    if is_subprefix:
+        # Propagation-derived: the attacker's prefix is a separate BGP
+        # destination, so "filtered everywhere" means nobody adopted it.
+        filtered = not attack_routes
+    elif vrp_index is None:
+        filtered = False
+    else:
+        # Same-prefix attacks share one propagation with the victim, so
+        # derive the claim from the VRP verdict — but an INVALID verdict
+        # only removes the announcement *everywhere* when every AS
+        # actually validates.
+        universal = (
+            validating_ases is None or topology.ases <= validating_ases
         )
-    return AttackOutcome(
-        scenario=scenario,
-        attacker_fraction=attacker_count / total,
-        victim_fraction=victim_count / total,
-        disconnected_fraction=disconnected / total,
-        attack_route_filtered=filtered,
+        filtered = universal and all(
+            vrp_index.validate(attack_prefix, seed.path[-1])
+            is ValidationState.INVALID
+            for seed in attacker_seeds
+        )
+    return (
+        (
+            attacker_count / total,
+            victim_count / total,
+            disconnected / total,
+        ),
+        filtered,
     )
 
 

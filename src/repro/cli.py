@@ -14,6 +14,8 @@ Subcommands mirror the paper's workflow:
   (legacy thread-per-connection server).
 * ``serve``     — the full serving tier: async high-fanout RTR
   distribution plus the origin-validation HTTP/JSON query service.
+* ``experiment`` — run an attack-effectiveness experiment grid on the
+  :mod:`repro.exper` engine, from flags or a JSON spec file.
 
 Examples::
 
@@ -21,6 +23,9 @@ Examples::
     repro-roa analyze /tmp/snap/vrps.csv /tmp/snap/rib.txt
     repro-roa compress /tmp/snap/vrps.csv -o /tmp/snap/compressed.csv
     repro-roa table1 --scale 0.05
+    repro-roa experiment --kinds forged-origin-subprefix \\
+        --policies minimal,maxlength-loose --fractions 0,0.5,1 \\
+        --trials 50 --executor process
 """
 
 from __future__ import annotations
@@ -117,6 +122,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--http-port", type=int, default=8080)
     serve.add_argument("--compress", action="store_true",
                        help="compress before serving")
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="run an attack-effectiveness grid on the repro.exper engine",
+    )
+    experiment.add_argument(
+        "--spec", help="JSON ExperimentSpec file (overrides grid flags)"
+    )
+    experiment.add_argument(
+        "--kinds", default="forged-origin-subprefix,forged-origin",
+        help="comma-separated attack kinds (default: the §4/§5 pair)",
+    )
+    experiment.add_argument(
+        "--policies", default="minimal,maxlength-loose",
+        help="comma-separated ROA policies: minimal, maxlength-loose, "
+             "maxlength-<N>, none, or <base>@<coverage>",
+    )
+    experiment.add_argument("--attackers", type=int, default=1,
+                            help="simultaneous attackers per trial")
+    experiment.add_argument("--prepend", type=int, default=0,
+                            help="AS-path prepend count on the attack")
+    experiment.add_argument(
+        "--fractions", default="all",
+        help="comma-separated validating fractions in [0,1]; "
+             "'all' = universal validation (default)",
+    )
+    experiment.add_argument("--trials", type=int, default=20)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--victim-prefix", default="168.122.0.0/16")
+    experiment.add_argument("--attack-prefix",
+                            help="default: victim prefix + 8 bits")
+    experiment.add_argument("--sampler", choices=("stubs", "any"),
+                            default="stubs")
+    experiment.add_argument("--topology",
+                            help="CAIDA relationship file (else synthetic)")
+    experiment.add_argument("--ases", type=int, default=400,
+                            help="synthetic topology size")
+    experiment.add_argument("--topology-seed", type=int, default=11)
+    experiment.add_argument("--executor", choices=("serial", "process"),
+                            default="serial")
+    experiment.add_argument("--workers", type=int,
+                            help="process-executor pool size")
+    experiment.add_argument("--emit-spec", action="store_true",
+                            help="print the spec as JSON and exit")
+    experiment.add_argument("--json", action="store_true",
+                            help="print the aggregated result as JSON")
     return parser
 
 
@@ -291,6 +342,124 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_spec_from_args(args: argparse.Namespace):
+    from .exper import (
+        AnyAsPairSampler,
+        AttackConfig,
+        ExperimentSpec,
+        StubPairSampler,
+        policy_from_name,
+    )
+
+    if args.spec:
+        return ExperimentSpec.from_json(
+            Path(args.spec).read_text(encoding="utf-8")
+        )
+    attacks = [
+        AttackConfig(kind.strip(), attackers=args.attackers,
+                     prepend=args.prepend)
+        for kind in args.kinds.split(",") if kind.strip()
+    ]
+    policies = [
+        policy_from_name(name.strip())
+        for name in args.policies.split(",") if name.strip()
+    ]
+    if args.fractions == "all":
+        fractions: tuple = (None,)
+    else:
+        fractions = tuple(
+            None if token.strip() == "all" else float(token)
+            for token in args.fractions.split(",") if token.strip()
+        )
+    sampler = (
+        AnyAsPairSampler() if args.sampler == "any" else StubPairSampler()
+    )
+    from .netbase import Prefix
+
+    return ExperimentSpec.grid(
+        attacks, policies,
+        trials=args.trials,
+        seed=args.seed,
+        fractions=fractions,
+        sampler=sampler,
+        victim_prefix=Prefix.parse(args.victim_prefix),
+        attack_prefix=(
+            Prefix.parse(args.attack_prefix) if args.attack_prefix else None
+        ),
+    )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json
+    import random
+
+    from .exper import ExperimentRunner
+    from .netbase.errors import ReproError
+
+    try:
+        spec = _experiment_spec_from_args(args)
+    except (ReproError, OSError, ValueError) as exc:
+        # OSError: unreadable --spec file; ValueError: malformed
+        # numbers in flags (e.g. --fractions 0,abc).
+        print(f"bad experiment spec: {exc}", file=sys.stderr)
+        return 2
+    if args.emit_spec:
+        print(spec.to_json())
+        return 0
+
+    if args.topology:
+        from .data import read_caida
+
+        topology = read_caida(args.topology)
+    else:
+        from .data import TopologyProfile, generate_topology
+
+        topology = generate_topology(
+            TopologyProfile(ases=args.ases), random.Random(args.topology_seed)
+        )
+    print(
+        f"topology: {len(topology)} ASes, {topology.edge_count()} links; "
+        f"{spec.total_trials} trials x {len(spec.cells)} cells "
+        f"({args.executor} executor)",
+        file=sys.stderr,
+    )
+    runner = ExperimentRunner(
+        topology, spec, executor=args.executor, workers=args.workers
+    )
+    try:
+        result = runner.run()
+    except ReproError as exc:
+        print(f"experiment failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(_result_to_json(result), indent=2))
+    else:
+        print(result.render())
+    return 0
+
+
+def _result_to_json(result) -> dict:
+    return {
+        "fractions": list(result.fractions),
+        "trials_per_cell": result.trials_per_cell,
+        "cells": [
+            {
+                "cell": stats.cell,
+                "fraction": stats.fraction,
+                "mean": stats.mean,
+                "stdev": stats.stdev,
+                "ci_low": stats.ci_low,
+                "ci_high": stats.ci_high,
+                "victim_mean": stats.victim_mean,
+                "disconnected_mean": stats.disconnected_mean,
+                "filtered_fraction": stats.filtered_fraction,
+            }
+            for row in result.stats
+            for stats in row
+        ],
+    }
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "minimal": _cmd_minimal,
@@ -301,6 +470,7 @@ _COMMANDS = {
     "figure3": _cmd_figure3,
     "rtr-serve": _cmd_rtr_serve,
     "serve": _cmd_serve,
+    "experiment": _cmd_experiment,
 }
 
 

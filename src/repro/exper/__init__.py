@@ -1,0 +1,89 @@
+"""repro.exper — the unified, parallel experiment engine.
+
+Every statistical claim of the paper — average attacker capture over
+sampled (victim, attacker) pairs, under varying ROA policies and
+validation deployment — is one :class:`ExperimentSpec` away:
+
+    >>> from repro.exper import (
+    ...     AttackConfig, ExperimentRunner, ExperimentSpec,
+    ...     MaxLengthLooseRoa, MinimalRoa, ScenarioCell,
+    ... )
+    >>> spec = ExperimentSpec(
+    ...     cells=(
+    ...         ScenarioCell("forged-origin-subprefix", MaxLengthLooseRoa()),
+    ...         ScenarioCell("forged-origin-subprefix", MinimalRoa()),
+    ...     ),
+    ...     trials=50,
+    ...     fractions=(0.0, 0.5, 1.0),
+    ... )
+    >>> result = ExperimentRunner(
+    ...     topology, spec, executor="process"
+    ... ).run()                                          # doctest: +SKIP
+    >>> result.cell("forged-origin-subprefix/minimal", 1.0).mean
+    0.0                                                 # doctest: +SKIP
+
+The layers, bottom to top:
+
+* :mod:`repro.exper.scenarios` — the scenario grammar (attack
+  configs, ROA policies, victim/attacker samplers, grid cells).
+* :mod:`repro.exper.spec` — :class:`ExperimentSpec`, deterministic
+  per-trial seed derivation, JSON round trip, trial materialization.
+* :mod:`repro.exper.evaluate` — pure (topology, spec, trial) →
+  :class:`TrialRecord` evaluation, including multi-attacker and
+  path-prepended generalizations.
+* :mod:`repro.exper.runner` — serial and multiprocessing executors.
+* :mod:`repro.exper.aggregate` — means, stdevs, and bootstrap
+  confidence intervals per grid cell.
+"""
+
+from .aggregate import CellStats, ExperimentResult, aggregate_records
+from .evaluate import TrialRecord, evaluate_trial
+from .runner import EXECUTORS, ExperimentRunner
+from .scenarios import (
+    AnyAsPairSampler,
+    AttackConfig,
+    CustomRoa,
+    FixedPairSampler,
+    MaxLengthLooseRoa,
+    MinimalRoa,
+    NoRoa,
+    PartialCoverageRoa,
+    RoaPolicy,
+    ScenarioCell,
+    StubPairSampler,
+    VictimAttackerSampler,
+    policy_from_name,
+)
+from .spec import (
+    ExperimentSpec,
+    TrialSpec,
+    derive_trial_seed,
+    materialize_trials,
+)
+
+__all__ = [
+    "AnyAsPairSampler",
+    "AttackConfig",
+    "CellStats",
+    "CustomRoa",
+    "EXECUTORS",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "FixedPairSampler",
+    "MaxLengthLooseRoa",
+    "MinimalRoa",
+    "NoRoa",
+    "PartialCoverageRoa",
+    "RoaPolicy",
+    "ScenarioCell",
+    "StubPairSampler",
+    "TrialRecord",
+    "TrialSpec",
+    "VictimAttackerSampler",
+    "aggregate_records",
+    "derive_trial_seed",
+    "evaluate_trial",
+    "materialize_trials",
+    "policy_from_name",
+]

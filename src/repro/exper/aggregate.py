@@ -1,0 +1,211 @@
+"""Aggregation: streaming TrialRecords into per-cell statistics.
+
+For every (fraction, cell) grid coordinate the aggregator keeps the
+attacker-capture values in trial order and reduces them to a mean, a
+sample standard deviation, and a bootstrap percentile confidence
+interval for the mean.  The bootstrap RNG is derived from the spec
+seed and the cell coordinates, so the whole result — intervals
+included — is a pure function of (spec, topology), independent of
+which executor produced the records or in what order they arrived.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..netbase.errors import ReproError
+from .evaluate import TrialRecord
+from .spec import ExperimentSpec
+
+__all__ = ["CellStats", "ExperimentResult", "aggregate_records"]
+
+
+def _bootstrap_seed(seed: int, fraction_index: int, cell_index: int) -> int:
+    key = f"repro.exper.bootstrap/{seed}/{fraction_index}/{cell_index}"
+    return int.from_bytes(
+        hashlib.blake2b(key.encode(), digest_size=8).digest(), "big"
+    )
+
+
+def _bootstrap_ci(
+    values: Sequence[float],
+    rng: random.Random,
+    resamples: int,
+    confidence: float,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``values``."""
+    n = len(values)
+    if n == 1:
+        return values[0], values[0]
+    means = sorted(
+        sum(rng.choices(values, k=n)) / n for _ in range(resamples)
+    )
+    tail = (1.0 - confidence) / 2.0
+    low_index = min(int(tail * resamples), resamples - 1)
+    high_index = max(int((1.0 - tail) * resamples) - 1, 0)
+    return means[low_index], means[high_index]
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Statistics for one (fraction, cell) grid coordinate.
+
+    Attributes:
+        cell: the cell's name.
+        fraction: validating fraction (``None`` = universal).
+        values: attacker capture fractions, in trial order.
+        mean / stdev: of ``values`` (stdev 0 for a single trial).
+        ci_low / ci_high: bootstrap CI bounds for the mean.
+        victim_mean / disconnected_mean: companion averages.
+        filtered_fraction: share of trials whose attack announcement
+            validation removed everywhere.
+    """
+
+    cell: str
+    fraction: Optional[float]
+    values: tuple[float, ...]
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    victim_mean: float
+    disconnected_mean: float
+    filtered_fraction: float
+
+    @property
+    def trials(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The aggregated grid: ``stats[fraction_index][cell_index]``."""
+
+    fractions: tuple[Optional[float], ...]
+    cell_names: tuple[str, ...]
+    stats: tuple[tuple[CellStats, ...], ...]
+    trials_per_cell: int
+
+    def cell(
+        self, cell: str, fraction: Optional[float] = None
+    ) -> CellStats:
+        """Look up one grid coordinate by cell name and fraction."""
+        try:
+            cell_index = self.cell_names.index(cell)
+        except ValueError:
+            raise ReproError(
+                f"no cell named {cell!r}; have {list(self.cell_names)}"
+            ) from None
+        if fraction is None and len(self.fractions) == 1:
+            fraction_index = 0
+        else:
+            try:
+                fraction_index = self.fractions.index(fraction)
+            except ValueError:
+                raise ReproError(
+                    f"no fraction {fraction!r}; have {list(self.fractions)}"
+                ) from None
+        return self.stats[fraction_index][cell_index]
+
+    def render(self) -> str:
+        """A fixed-width grid: one row per fraction, one block per cell."""
+        width = max(len(name) for name in self.cell_names)
+        lines = [
+            f"{'validating':>11}  "
+            + "  ".join(f"{name:>{max(width, 22)}}" for name in self.cell_names)
+        ]
+        for fraction_index, fraction in enumerate(self.fractions):
+            label = "all" if fraction is None else f"{100 * fraction:.0f}%"
+            blocks = []
+            for cell_stats in self.stats[fraction_index]:
+                blocks.append(
+                    f"{100 * cell_stats.mean:6.1f}% "
+                    f"[{100 * cell_stats.ci_low:5.1f}, "
+                    f"{100 * cell_stats.ci_high:5.1f}]"
+                )
+            lines.append(
+                f"{label:>11}  "
+                + "  ".join(
+                    f"{block:>{max(width, 22)}}" for block in blocks
+                )
+            )
+        lines.append(
+            f"({self.trials_per_cell} trials per cell; "
+            f"mean capture [95% bootstrap CI of the mean])"
+        )
+        return "\n".join(lines)
+
+
+def aggregate_records(
+    spec: ExperimentSpec,
+    records: Iterable[TrialRecord],
+    *,
+    bootstrap_resamples: int = 1000,
+    confidence: float = 0.95,
+) -> ExperimentResult:
+    """Reduce (possibly out-of-order) records to the stats grid."""
+    grid: dict[tuple[int, int], dict[int, TrialRecord]] = {}
+    for record in records:
+        coordinate = (record.fraction_index, record.cell_index)
+        per_trial = grid.setdefault(coordinate, {})
+        if record.trial_index in per_trial:
+            raise ReproError(
+                f"duplicate record for trial {record.trial_index} of "
+                f"cell {record.cell!r}"
+            )
+        per_trial[record.trial_index] = record
+
+    rows: list[tuple[CellStats, ...]] = []
+    for fraction_index, fraction in enumerate(spec.fractions):
+        row: list[CellStats] = []
+        for cell_index, cell in enumerate(spec.cells):
+            per_trial = grid.get((fraction_index, cell_index), {})
+            if len(per_trial) != spec.trials:
+                raise ReproError(
+                    f"cell {cell.name!r} at fraction index {fraction_index} "
+                    f"has {len(per_trial)} of {spec.trials} trials"
+                )
+            ordered = [per_trial[t] for t in range(spec.trials)]
+            values = tuple(r.attacker_fraction for r in ordered)
+            mean = statistics.mean(values)
+            stdev = statistics.stdev(values) if len(values) > 1 else 0.0
+            ci_low, ci_high = _bootstrap_ci(
+                values,
+                random.Random(
+                    _bootstrap_seed(spec.seed, fraction_index, cell_index)
+                ),
+                bootstrap_resamples,
+                confidence,
+            )
+            row.append(
+                CellStats(
+                    cell=cell.name,
+                    fraction=fraction,
+                    values=values,
+                    mean=mean,
+                    stdev=stdev,
+                    ci_low=ci_low,
+                    ci_high=ci_high,
+                    victim_mean=statistics.mean(
+                        r.victim_fraction for r in ordered
+                    ),
+                    disconnected_mean=statistics.mean(
+                        r.disconnected_fraction for r in ordered
+                    ),
+                    filtered_fraction=(
+                        sum(r.attack_route_filtered for r in ordered)
+                        / len(ordered)
+                    ),
+                )
+            )
+        rows.append(tuple(row))
+    return ExperimentResult(
+        fractions=spec.fractions,
+        cell_names=tuple(cell.name for cell in spec.cells),
+        stats=tuple(rows),
+        trials_per_cell=spec.trials,
+    )

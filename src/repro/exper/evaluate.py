@@ -1,0 +1,117 @@
+"""Pure trial evaluation: (topology, spec, trial) → TrialRecords.
+
+One trial evaluates *every* grid cell, in order, with a single
+tie-break RNG seeded from the trial — a paired design: every cell sees
+the same (victim, attackers) cast, the same validator sample, and the
+same tie-break luck, so cell-to-cell differences measure the policy,
+not the noise.  (It is also exactly what the legacy study loops did,
+which is why they reproduce bit-for-bit through this engine.)
+
+All cells — the four historical single-attacker variants and the
+scenario space the old loops could not express (multiple simultaneous
+attackers, AS-path-prepended announcements) — evaluate through one
+shared core, :func:`repro.bgp.attacks.evaluate_attack_seeds`; this
+module only builds the attacker seed lists.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bgp.attacks import evaluate_attack_seeds
+from ..bgp.simulation import Seed
+from ..bgp.topology import AsTopology
+from .scenarios import AttackConfig
+from .spec import ExperimentSpec, TrialSpec
+
+__all__ = ["TrialRecord", "evaluate_trial"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """The outcome of one (trial, cell) evaluation.
+
+    Attributes:
+        fraction_index / trial_index / cell_index: grid coordinates.
+        fraction: the validating fraction (``None`` = universal).
+        cell: the cell's name.
+        victim / attackers: the trial's cast (this cell's slice).
+        attacker_fraction / victim_fraction / disconnected_fraction:
+            shares of judged ASes routing the attacked space to each
+            party (or nowhere).
+        attack_route_filtered: True when validation removed every
+            attacker announcement everywhere.
+    """
+
+    fraction_index: int
+    trial_index: int
+    cell_index: int
+    fraction: Optional[float]
+    cell: str
+    victim: int
+    attackers: tuple[int, ...]
+    attacker_fraction: float
+    victim_fraction: float
+    disconnected_fraction: float
+    attack_route_filtered: bool
+
+    @property
+    def sort_key(self) -> tuple[int, int, int]:
+        return (self.fraction_index, self.trial_index, self.cell_index)
+
+
+def evaluate_trial(
+    topology: AsTopology, spec: ExperimentSpec, trial: TrialSpec
+) -> list[TrialRecord]:
+    """Evaluate every cell of the spec for one materialized trial."""
+    tie_rng = random.Random(trial.tie_seed)
+    victim_prefix = spec.victim_prefix
+    subprefix = spec.effective_attack_prefix
+    fraction = spec.fractions[trial.fraction_index]
+
+    records: list[TrialRecord] = []
+    for cell_index, cell in enumerate(spec.cells):
+        attack = cell.attack
+        attackers = trial.attackers[: attack.attackers]
+        attack_prefix = attack.attack_prefix_for(victim_prefix, subprefix)
+        vrp_index = cell.policy.vrp_index(
+            trial.victim, victim_prefix, attack_prefix, trial.trial_bits
+        )
+        fractions, filtered = evaluate_attack_seeds(
+            topology, trial.victim, victim_prefix, attack_prefix,
+            [
+                _attacker_seed(attack, attacker, trial.victim)
+                for attacker in attackers
+            ],
+            vrp_index=vrp_index,
+            validating_ases=trial.validating_ases,
+            rng=tie_rng,
+        )
+        records.append(
+            TrialRecord(
+                fraction_index=trial.fraction_index,
+                trial_index=trial.trial_index,
+                cell_index=cell_index,
+                fraction=fraction,
+                cell=cell.name,
+                victim=trial.victim,
+                attackers=attackers,
+                attacker_fraction=fractions[0],
+                victim_fraction=fractions[1],
+                disconnected_fraction=fractions[2],
+                attack_route_filtered=filtered,
+            )
+        )
+    return records
+
+
+def _attacker_seed(
+    attack: AttackConfig, attacker: int, victim: int
+) -> Seed:
+    """The (possibly prepended) announcement of one attacker."""
+    head = (attacker,) * (1 + attack.prepend)
+    if attack.kind.forges_origin:
+        return Seed(attacker, head + (victim,))
+    return Seed(attacker, head)

@@ -1,0 +1,149 @@
+"""The experiment runner: executors that turn specs into results.
+
+The driver materializes every trial (cheap, sequential, all the
+randomness), then an executor evaluates them (expensive, pure):
+
+* ``"serial"`` — a plain loop in this process.
+* ``"process"`` — a :mod:`multiprocessing` pool.  The topology and
+  spec are shipped to each worker exactly once via the pool
+  initializer; trials are batched so a task amortizes IPC over many
+  propagations, and results stream back as batches complete.
+
+Because trials are pure functions of (topology, spec, trial), the two
+executors produce identical record sets and therefore byte-identical
+aggregated results — a property the test suite enforces.  Trials/sec
+scales with cores under ``"process"``, which is what lets the studies
+grow to CAIDA-sized topologies (ROADMAP: "as fast as the hardware
+allows").
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterator, Optional
+
+from ..bgp.topology import AsTopology
+from ..netbase.errors import ReproError
+from .aggregate import ExperimentResult, aggregate_records
+from .evaluate import TrialRecord, evaluate_trial
+from .spec import ExperimentSpec, TrialSpec, materialize_trials
+
+__all__ = ["ExperimentRunner", "EXECUTORS"]
+
+EXECUTORS = ("serial", "process")
+
+#: Worker-process state, installed once by the pool initializer so the
+#: topology and spec are pickled per worker, not per task.
+_WORKER: dict = {}
+
+
+def _init_worker(topology: AsTopology, spec: ExperimentSpec) -> None:
+    _WORKER["topology"] = topology
+    _WORKER["spec"] = spec
+
+
+def _run_batch(batch: list[TrialSpec]) -> list[TrialRecord]:
+    topology = _WORKER["topology"]
+    spec = _WORKER["spec"]
+    records: list[TrialRecord] = []
+    for trial in batch:
+        records.extend(evaluate_trial(topology, spec, trial))
+    return records
+
+
+class ExperimentRunner:
+    """Runs one :class:`ExperimentSpec` on one topology.
+
+    Args:
+        topology: the AS graph every trial propagates on.
+        spec: the experiment grid.
+        executor: ``"serial"`` or ``"process"``.
+        workers: pool size for ``"process"`` (default: CPU count).
+        batch_size: trials per pool task (default: balance ~4 tasks
+            per worker so stragglers do not serialize the tail).
+    """
+
+    def __init__(
+        self,
+        topology: AsTopology,
+        spec: ExperimentSpec,
+        *,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ReproError(
+                f"unknown executor {executor!r}; expected {EXECUTORS}"
+            )
+        if workers is not None and workers < 1:
+            raise ReproError("workers must be positive")
+        if batch_size is not None and batch_size < 1:
+            raise ReproError("batch_size must be positive")
+        self.topology = topology
+        self.spec = spec
+        self.executor = executor
+        self.workers = workers or os.cpu_count() or 1
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+    # Record streaming
+    # ------------------------------------------------------------------
+
+    def iter_records(self) -> Iterator[TrialRecord]:
+        """Stream TrialRecords as trials complete (unordered under the
+        process executor; the aggregator re-orders)."""
+        trials = materialize_trials(self.spec, self.topology)
+        if self.executor == "serial":
+            for trial in trials:
+                yield from evaluate_trial(self.topology, self.spec, trial)
+            return
+        yield from self._iter_process(trials)
+
+    def _iter_process(
+        self, trials: list[TrialSpec]
+    ) -> Iterator[TrialRecord]:
+        batch_size = self.batch_size or max(
+            1, len(trials) // (self.workers * 4)
+        )
+        batches = [
+            trials[start:start + batch_size]
+            for start in range(0, len(trials), batch_size)
+        ]
+        with multiprocessing.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(self.topology, self.spec),
+        ) as pool:
+            for records in pool.imap_unordered(_run_batch, batches):
+                yield from records
+
+    # ------------------------------------------------------------------
+    # One-shot aggregation
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        bootstrap_resamples: int = 1000,
+        confidence: float = 0.95,
+        on_record: Optional[Callable[[TrialRecord], None]] = None,
+    ) -> ExperimentResult:
+        """Run every trial and aggregate the grid.
+
+        ``on_record`` observes each record as it streams in (progress
+        reporting); it must not mutate the record.
+        """
+        def records() -> Iterator[TrialRecord]:
+            for record in self.iter_records():
+                if on_record is not None:
+                    on_record(record)
+                yield record
+
+        return aggregate_records(
+            self.spec,
+            records(),
+            bootstrap_resamples=bootstrap_resamples,
+            confidence=confidence,
+        )

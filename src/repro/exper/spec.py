@@ -1,0 +1,423 @@
+"""Experiment specifications and deterministic trial materialization.
+
+An :class:`ExperimentSpec` is the declarative description of a whole
+study: a tuple of :class:`~repro.exper.scenarios.ScenarioCell` grid
+cells, a tuple of validating-AS fractions, a trial count, and a seed.
+From a spec and a topology, :func:`materialize_trials` produces the
+fully-specified, self-contained :class:`TrialSpec` list the executors
+consume.  All randomness is drawn *here*, in the driver process — the
+expensive part (route propagation) is pure given a trial, which is
+what makes the serial and multiprocessing executors byte-identical.
+
+Two seeding disciplines are supported:
+
+* ``"derived"`` (default) — every trial's seed is derived from
+  ``(seed, fraction_index, trial_index)`` through a keyed blake2b
+  digest, so any trial can be regenerated in isolation (the property
+  future sharded runs need).
+* ``"stream"`` — all trials draw from one sequential
+  :class:`random.Random` stream, fractions outer, trials inner.  This
+  exists to reproduce, bit for bit, the numbers of the hand-rolled
+  study loops this engine replaced (see
+  :mod:`repro.analysis.hijack_eval` and
+  :mod:`repro.analysis.deployment`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from ..bgp.topology import AsTopology
+from ..netbase import Prefix
+from ..netbase.errors import ReproError
+from ..rpki.vrp import Vrp
+from .scenarios import (
+    AnyAsPairSampler,
+    AttackConfig,
+    CustomRoa,
+    FixedPairSampler,
+    PartialCoverageRoa,
+    RoaPolicy,
+    ScenarioCell,
+    StubPairSampler,
+    VictimAttackerSampler,
+    policy_from_name,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "TrialSpec",
+    "derive_trial_seed",
+    "materialize_trials",
+]
+
+_SEEDINGS = ("derived", "stream")
+
+
+def derive_trial_seed(seed: int, fraction_index: int, trial_index: int) -> int:
+    """Deterministic, order-independent per-trial seed.
+
+    A keyed digest rather than arithmetic so that nearby (seed, trial)
+    coordinates never produce correlated :class:`random.Random` states.
+    """
+    key = f"repro.exper/{seed}/{fraction_index}/{trial_index}".encode()
+    return int.from_bytes(
+        hashlib.blake2b(key, digest_size=8).digest(), "big"
+    )
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-drawn trial: everything a worker needs but the grid.
+
+    Attributes:
+        fraction_index: index into the spec's ``fractions``.
+        trial_index: 0-based trial number within that fraction.
+        victim: the legitimate origin AS.
+        attackers: the hijacker cast (cells use a prefix of it).
+        validating_ases: the sampled validator set, or ``None`` for
+            universal validation.
+        tie_seed: seeds the tie-break RNG shared by the trial's cells.
+        trial_bits: per-trial random word for policies that flip coins
+            (0 when no cell needs it).
+    """
+
+    fraction_index: int
+    trial_index: int
+    victim: int
+    attackers: tuple[int, ...]
+    validating_ases: Optional[frozenset[int]]
+    tie_seed: int
+    trial_bits: int = 0
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative experiment grid.
+
+    Attributes:
+        cells: the (attack × ROA policy) grid cells, evaluated per
+            trial in order with a shared tie-break RNG (a paired
+            design: every cell sees the same cast and the same luck).
+        trials: trials per fraction.
+        seed: master seed.
+        fractions: validating-AS fractions; ``None`` means universal
+            validation (no validator sampling at all).
+        sampler: how the (victim, attackers) cast is drawn.
+        victim_prefix: the prefix the victim announces.
+        attack_prefix: the subprefix the attacker announces; ``None``
+            derives ``victim_prefix`` extended by 8 bits.
+        seeding: ``"derived"`` or ``"stream"`` (see module docstring).
+    """
+
+    cells: tuple[ScenarioCell, ...]
+    trials: int
+    seed: int = 0
+    fractions: tuple[Optional[float], ...] = (None,)
+    sampler: VictimAttackerSampler = field(default_factory=StubPairSampler)
+    victim_prefix: Prefix = field(
+        default_factory=lambda: Prefix.parse("168.122.0.0/16")
+    )
+    attack_prefix: Optional[Prefix] = None
+    seeding: str = "derived"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cells", tuple(self.cells))
+        object.__setattr__(self, "fractions", tuple(self.fractions))
+        if not self.cells:
+            raise ReproError("an experiment needs at least one cell")
+        if self.trials < 1:
+            raise ReproError("an experiment needs at least one trial")
+        if not self.fractions:
+            raise ReproError("an experiment needs at least one fraction")
+        for fraction in self.fractions:
+            if fraction is not None and not 0.0 <= fraction <= 1.0:
+                raise ReproError(f"fraction {fraction!r} outside [0, 1]")
+        if self.seeding not in _SEEDINGS:
+            raise ReproError(
+                f"unknown seeding {self.seeding!r}; expected {_SEEDINGS}"
+            )
+        names = [cell.name for cell in self.cells]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate cell names in {names}")
+        attack = self.effective_attack_prefix
+        if not self.victim_prefix.covers(attack):
+            raise ReproError(
+                f"attack prefix {attack} outside victim's "
+                f"{self.victim_prefix}"
+            )
+
+    @classmethod
+    def grid(
+        cls,
+        attacks: Iterable[Union[AttackConfig, str]],
+        policies: Iterable[RoaPolicy],
+        **kwargs,
+    ) -> "ExperimentSpec":
+        """The full cross product, attacks-major."""
+        attack_list = [
+            a if isinstance(a, AttackConfig) else AttackConfig(a)
+            for a in attacks
+        ]
+        policy_list = list(policies)
+        cells = tuple(
+            ScenarioCell(attack, policy)
+            for attack in attack_list
+            for policy in policy_list
+        )
+        return cls(cells=cells, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def effective_attack_prefix(self) -> Prefix:
+        if self.attack_prefix is not None:
+            return self.attack_prefix
+        length = self.victim_prefix.length + 8
+        if length > self.victim_prefix.max_family_length:
+            raise ReproError(
+                f"cannot derive a /{length} attack subprefix of "
+                f"{self.victim_prefix}"
+            )
+        return Prefix(
+            self.victim_prefix.family, self.victim_prefix.value, length
+        )
+
+    @property
+    def max_attackers(self) -> int:
+        return max(cell.attack.attackers for cell in self.cells)
+
+    @property
+    def needs_trial_bits(self) -> bool:
+        return any(cell.policy.needs_trial_bits for cell in self.cells)
+
+    @property
+    def total_trials(self) -> int:
+        return self.trials * len(self.fractions)
+
+    def cell_index(self, name: str) -> int:
+        for index, cell in enumerate(self.cells):
+            if cell.name == name:
+                return index
+        raise ReproError(f"no cell named {name!r}")
+
+    # ------------------------------------------------------------------
+    # JSON round trip (the CLI's --spec format)
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "cells": [_cell_to_json(cell) for cell in self.cells],
+            "trials": self.trials,
+            "seed": self.seed,
+            "fractions": list(self.fractions),
+            "sampler": _sampler_to_json(self.sampler),
+            "victim_prefix": str(self.victim_prefix),
+            "attack_prefix": (
+                None if self.attack_prefix is None else str(self.attack_prefix)
+            ),
+            "seeding": self.seeding,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ExperimentSpec":
+        try:
+            cells = tuple(_cell_from_json(raw) for raw in data["cells"])
+            trials = int(data["trials"])
+            attack_prefix = data.get("attack_prefix")
+            return cls(
+                cells=cells,
+                trials=trials,
+                seed=int(data.get("seed", 0)),
+                fractions=tuple(
+                    None if f is None else float(f)
+                    for f in data.get("fractions", [None])
+                ),
+                sampler=_sampler_from_json(data.get("sampler", "stubs")),
+                victim_prefix=Prefix.parse(
+                    data.get("victim_prefix", "168.122.0.0/16")
+                ),
+                attack_prefix=(
+                    None if attack_prefix is None
+                    else Prefix.parse(attack_prefix)
+                ),
+                seeding=data.get("seeding", "derived"),
+            )
+        except KeyError as exc:
+            raise ReproError(f"spec JSON missing key {exc}") from None
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"bad spec JSON value: {exc}") from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"bad spec JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ReproError("spec JSON must be an object")
+        return cls.from_json_dict(data)
+
+
+def _cell_to_json(cell: ScenarioCell) -> dict:
+    data: dict = {"kind": cell.attack.kind.value}
+    if cell.attack.attackers != 1:
+        data["attackers"] = cell.attack.attackers
+    if cell.attack.prepend:
+        data["prepend"] = cell.attack.prepend
+    data["policy"] = _policy_to_json(cell.policy)
+    return data
+
+
+def _cell_from_json(data: dict) -> ScenarioCell:
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ReproError(f"bad cell entry {data!r}: needs a 'kind'")
+    try:
+        attack = AttackConfig(
+            data["kind"],
+            attackers=int(data.get("attackers", 1)),
+            prepend=int(data.get("prepend", 0)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"bad cell entry {data!r}: {exc}") from None
+    return ScenarioCell(attack, _policy_from_json(data.get("policy", "none")))
+
+
+def _policy_to_json(policy: RoaPolicy) -> Union[str, dict]:
+    if isinstance(policy, CustomRoa):
+        return {
+            "custom": [
+                {
+                    "prefix": str(vrp.prefix),
+                    "max_length": vrp.max_length,
+                    "asn": vrp.asn,
+                }
+                for vrp in policy.vrps
+            ],
+            "name": policy.name,
+        }
+    if isinstance(policy, PartialCoverageRoa):
+        # The dict form, not the display label: the label renders the
+        # coverage with %g, which would silently round it on round trip.
+        return {
+            "partial": {
+                "base": _policy_to_json(policy.base),
+                "coverage": policy.coverage,
+            }
+        }
+    return policy.label
+
+
+def _policy_from_json(data: Union[str, dict]) -> RoaPolicy:
+    if isinstance(data, str):
+        return policy_from_name(data)
+    if isinstance(data, dict) and "partial" in data:
+        partial = data["partial"]
+        if not isinstance(partial, dict) or "base" not in partial:
+            raise ReproError(f"bad partial policy entry {data!r}")
+        return PartialCoverageRoa(
+            _policy_from_json(partial["base"]),
+            float(partial.get("coverage", 0.5)),
+        )
+    if isinstance(data, dict) and "custom" in data:
+        try:
+            vrps = tuple(
+                Vrp(
+                    Prefix.parse(row["prefix"]),
+                    int(row["max_length"]),
+                    int(row["asn"]),
+                )
+                for row in data["custom"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"bad custom VRP row: {exc}") from None
+        return CustomRoa(vrps, name=data.get("name", "custom"))
+    raise ReproError(f"bad policy entry {data!r}")
+
+
+def _sampler_to_json(sampler: VictimAttackerSampler) -> Union[str, dict]:
+    if isinstance(sampler, StubPairSampler):
+        return "stubs"
+    if isinstance(sampler, AnyAsPairSampler):
+        return "any"
+    if isinstance(sampler, FixedPairSampler):
+        return {"victim": sampler.victim, "attackers": list(sampler.attackers)}
+    raise ReproError(f"sampler {sampler!r} has no JSON form")
+
+
+def _sampler_from_json(data: Union[str, dict]) -> VictimAttackerSampler:
+    if data == "stubs":
+        return StubPairSampler()
+    if data == "any":
+        return AnyAsPairSampler()
+    if isinstance(data, dict) and "victim" in data:
+        return FixedPairSampler(
+            int(data["victim"]),
+            tuple(int(asn) for asn in data.get("attackers", ())),
+        )
+    raise ReproError(f"bad sampler entry {data!r}")
+
+
+# ----------------------------------------------------------------------
+# Trial materialization
+# ----------------------------------------------------------------------
+
+
+def materialize_trials(
+    spec: ExperimentSpec, topology: AsTopology
+) -> list[TrialSpec]:
+    """Draw every trial of the spec, in deterministic order.
+
+    All RNG consumption happens here, in fractions-outer, trials-inner
+    order; the per-trial draw order is fixed (cast, validators, coin
+    word, tie seed) so both seeding disciplines are stable contracts.
+    """
+    pool = spec.sampler.population(topology)
+    needs_validators = any(f is not None for f in spec.fractions)
+    all_pool: tuple[int, ...] = ()
+    if needs_validators:
+        all_pool = tuple(sorted(topology.ases))
+    stream_rng = (
+        random.Random(spec.seed) if spec.seeding == "stream" else None
+    )
+
+    trials: list[TrialSpec] = []
+    for fraction_index, fraction in enumerate(spec.fractions):
+        for trial_index in range(spec.trials):
+            if stream_rng is not None:
+                rng = stream_rng
+            else:
+                rng = random.Random(
+                    derive_trial_seed(spec.seed, fraction_index, trial_index)
+                )
+            victim, attackers = spec.sampler.sample(
+                pool, rng, spec.max_attackers
+            )
+            validators: Optional[frozenset[int]] = None
+            if fraction is not None:
+                count = round(fraction * len(all_pool))
+                validators = frozenset(rng.sample(all_pool, count))
+            trial_bits = (
+                rng.getrandbits(64) if spec.needs_trial_bits else 0
+            )
+            trials.append(
+                TrialSpec(
+                    fraction_index=fraction_index,
+                    trial_index=trial_index,
+                    victim=victim,
+                    attackers=attackers,
+                    validating_ases=validators,
+                    tie_seed=rng.getrandbits(32),
+                    trial_bits=trial_bits,
+                )
+            )
+    return trials

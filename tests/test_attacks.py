@@ -48,6 +48,27 @@ class TestScenarioConstruction:
                 AttackKind.SUBPREFIX_HIJACK, 111, 666, P16, p("9.9.9.0/24")
             )
 
+    def test_unknown_kind_rejected(self):
+        """Regression: an unknown kind used to silently degrade to a
+        plain-origin hijack; it must now fail loudly."""
+        with pytest.raises(ReproError, match="unknown attack kind"):
+            AttackScenario("fat-finger-hijack", 111, 666, P16, P24)
+
+    def test_string_kind_coerced_to_enum(self):
+        scenario = AttackScenario("forged-origin", 111, 666, P16, P16)
+        assert scenario.kind is AttackKind.FORGED_ORIGIN
+        assert scenario.attacker_seed().path == (666, 111)
+
+    def test_kind_enum_semantics(self):
+        assert AttackKind("subprefix-hijack") is AttackKind.SUBPREFIX_HIJACK
+        assert str(AttackKind.FORGED_ORIGIN_SUBPREFIX) == (
+            "forged-origin-subprefix"
+        )
+        assert AttackKind.FORGED_ORIGIN.forges_origin
+        assert not AttackKind.FORGED_ORIGIN.is_subprefix
+        assert AttackKind.SUBPREFIX_HIJACK.is_subprefix
+        assert not AttackKind.PREFIX_HIJACK.forges_origin
+
 
 class TestPaperClaims:
     """§4/§5 of the paper, quantified on the fixture topology."""
@@ -124,6 +145,32 @@ class TestPaperClaims:
             + outcome.disconnected_fraction
         )
         assert total == pytest.approx(1.0)
+
+    def test_partial_deployment_not_reported_filtered(self, chain_topology):
+        """Regression: a same-prefix INVALID announcement used to be
+        reported as filtered-everywhere even when only a handful of
+        ASes validate."""
+        scenario = AttackScenario(
+            AttackKind.PREFIX_HIJACK, 111, 666, P16, P16
+        )
+        partial = evaluate_attack(
+            chain_topology, scenario, vrp_index=MINIMAL,
+            validating_ases=frozenset({10}),
+        )
+        assert not partial.attack_route_filtered
+        assert partial.attacker_fraction > 0.0
+
+        universal = evaluate_attack(
+            chain_topology, scenario, vrp_index=MINIMAL,
+        )
+        assert universal.attack_route_filtered
+        assert universal.attacker_fraction == 0.0
+
+        explicit_all = evaluate_attack(
+            chain_topology, scenario, vrp_index=MINIMAL,
+            validating_ases=frozenset(chain_topology.ases),
+        )
+        assert explicit_all.attack_route_filtered
 
     def test_str_is_readable(self, chain_topology):
         scenario = AttackScenario(AttackKind.FORGED_ORIGIN, 111, 666, P16, P16)

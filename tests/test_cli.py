@@ -62,6 +62,13 @@ class TestParser:
         assert args.http_port == 8080
         assert not args.compress
 
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.command == "experiment"
+        assert args.executor == "serial"
+        assert args.fractions == "all"
+        assert args.trials == 20
+
 
 class TestCompressCommand:
     def test_compress_to_file(self, dataset, tmp_path, capsys):
@@ -126,3 +133,55 @@ class TestGenerateAndTable1:
     def test_table1_synthetic(self, capsys):
         assert main(["table1", "--scale", "0.002"]) == 0
         assert "Full deployment" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    SMALL = ["experiment", "--ases", "80", "--trials", "2",
+             "--topology-seed", "4"]
+
+    def test_grid_from_flags(self, capsys):
+        assert main(self.SMALL + [
+            "--kinds", "forged-origin-subprefix",
+            "--policies", "minimal,maxlength-loose",
+            "--fractions", "0,1",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "forged-origin-subprefix/minimal" in captured.out
+        assert "bootstrap CI" in captured.out
+        assert "2 cells" in captured.err
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(self.SMALL + [
+            "--kinds", "subprefix-hijack", "--policies", "none", "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["trials_per_cell"] == 2
+        assert data["cells"][0]["cell"] == "subprefix-hijack/none"
+        assert data["cells"][0]["mean"] == 1.0
+
+    def test_emit_spec_round_trips(self, tmp_path, capsys):
+        assert main(self.SMALL + ["--emit-spec"]) == 0
+        spec_text = capsys.readouterr().out
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec_text, encoding="utf-8")
+        assert main(self.SMALL + ["--spec", str(spec_path)]) == 0
+        assert "forged-origin/minimal" in capsys.readouterr().out
+
+    def test_bad_policy_rejected(self, capsys):
+        assert main(self.SMALL + ["--policies", "maximal"]) == 2
+        assert "bad experiment spec" in capsys.readouterr().err
+
+    def test_bad_kind_rejected(self, capsys):
+        assert main(self.SMALL + ["--kinds", "route-leak"]) == 2
+        assert "bad experiment spec" in capsys.readouterr().err
+
+    def test_bad_fraction_rejected(self, capsys):
+        assert main(self.SMALL + ["--fractions", "0,abc"]) == 2
+        assert "bad experiment spec" in capsys.readouterr().err
+
+    def test_missing_spec_file_rejected(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["experiment", "--spec", str(missing)]) == 2
+        assert "bad experiment spec" in capsys.readouterr().err

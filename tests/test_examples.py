@@ -58,6 +58,17 @@ class TestExamples:
         assert "state=invalid reason=invalid-length" in result.stdout
         assert "one encode per serial" in result.stdout
 
+    def test_experiment_grid(self):
+        result = run_example(
+            "experiment_grid.py", "--ases", "150", "--trials", "4",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "forged-origin-subprefix/minimal" in result.stdout
+        assert "bootstrap CI" in result.stdout
+        assert "validation never helps against a non-minimal ROA" \
+            in result.stdout
+        assert "filtered in 100% of trials" in result.stdout
+
     def test_roa_lint_curated(self):
         result = run_example("roa_lint.py")
         assert result.returncode == 0, result.stderr

@@ -1,0 +1,527 @@
+"""Tests for the repro.exper experiment engine.
+
+Covers the scenario grammar, deterministic seed derivation, serial /
+multiprocessing executor equivalence, the aggregation layer, and the
+scenario diversity the legacy loops could not express (multi-attacker,
+path prepending, per-AS partial ROA coverage).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.asgraph import TopologyProfile, generate_topology
+from repro.exper import (
+    AnyAsPairSampler,
+    AttackConfig,
+    CustomRoa,
+    ExperimentRunner,
+    ExperimentSpec,
+    FixedPairSampler,
+    MaxLengthLooseRoa,
+    MinimalRoa,
+    NoRoa,
+    PartialCoverageRoa,
+    ScenarioCell,
+    StubPairSampler,
+    TrialSpec,
+    aggregate_records,
+    derive_trial_seed,
+    evaluate_trial,
+    materialize_trials,
+    policy_from_name,
+)
+from repro.netbase import Prefix
+from repro.netbase.errors import ReproError
+from repro.rpki import Vrp
+
+
+@pytest.fixture(scope="module")
+def engine_topology():
+    """A 120-AS topology: big enough to be interesting, fast to sweep."""
+    return generate_topology(TopologyProfile(ases=120), random.Random(8))
+
+
+def two_cell_spec(**kwargs) -> ExperimentSpec:
+    defaults = dict(
+        cells=(
+            ScenarioCell("forged-origin-subprefix", MinimalRoa()),
+            ScenarioCell("forged-origin-subprefix", MaxLengthLooseRoa()),
+        ),
+        trials=4,
+        seed=5,
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_trial_seed(7, 0, 3) == derive_trial_seed(7, 0, 3)
+
+    def test_distinct_across_coordinates(self):
+        seeds = {
+            derive_trial_seed(seed, fraction, trial)
+            for seed in range(3)
+            for fraction in range(3)
+            for trial in range(10)
+        }
+        assert len(seeds) == 3 * 3 * 10
+
+    def test_trials_are_self_contained(self, engine_topology):
+        """Derived seeding: trial t does not depend on how many trials
+        surround it — the property sharded runs rely on."""
+        short = materialize_trials(two_cell_spec(trials=3), engine_topology)
+        long = materialize_trials(two_cell_spec(trials=6), engine_topology)
+        assert long[:3] == short
+
+    def test_stream_trials_are_sequential(self, engine_topology):
+        """Stream seeding deliberately couples trials (legacy replay):
+        a draw consumed by trial 0 shifts everything after it."""
+        spec = two_cell_spec(seeding="stream")
+        trials = materialize_trials(spec, engine_topology)
+        rng = random.Random(spec.seed)
+        pool = StubPairSampler().population(engine_topology)
+        victim, attacker = rng.sample(pool, 2)
+        assert trials[0].victim == victim
+        assert trials[0].attackers == (attacker,)
+        assert trials[0].tie_seed == rng.getrandbits(32)
+
+    def test_materialization_is_reproducible(self, engine_topology):
+        spec = two_cell_spec(fractions=(0.0, 0.5))
+        assert materialize_trials(spec, engine_topology) == (
+            materialize_trials(spec, engine_topology)
+        )
+
+    def test_validators_only_drawn_for_fractions(self, engine_topology):
+        universal = materialize_trials(two_cell_spec(), engine_topology)
+        assert all(t.validating_ases is None for t in universal)
+        partial = materialize_trials(
+            two_cell_spec(fractions=(0.5,)), engine_topology
+        )
+        expected = round(0.5 * len(engine_topology))
+        assert all(
+            len(t.validating_ases) == expected for t in partial
+        )
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("seeding", ["derived", "stream"])
+    def test_process_matches_serial(self, engine_topology, seeding):
+        """The headline property: byte-identical aggregated results."""
+        spec = two_cell_spec(
+            trials=6, fractions=(0.0, 0.5, None), seeding=seeding
+        )
+        serial = ExperimentRunner(
+            engine_topology, spec, executor="serial"
+        ).run(bootstrap_resamples=100)
+        parallel = ExperimentRunner(
+            engine_topology, spec, executor="process", workers=2
+        ).run(bootstrap_resamples=100)
+        assert serial == parallel
+
+    def test_record_streams_carry_same_set(self, engine_topology):
+        spec = two_cell_spec(trials=5)
+        serial = list(
+            ExperimentRunner(engine_topology, spec).iter_records()
+        )
+        parallel = list(
+            ExperimentRunner(
+                engine_topology, spec, executor="process",
+                workers=2, batch_size=2,
+            ).iter_records()
+        )
+        key = lambda r: r.sort_key  # noqa: E731
+        assert sorted(parallel, key=key) == sorted(serial, key=key)
+
+    def test_unknown_executor_rejected(self, engine_topology):
+        with pytest.raises(ReproError, match="unknown executor"):
+            ExperimentRunner(
+                engine_topology, two_cell_spec(), executor="threads"
+            )
+
+    def test_bad_worker_counts_rejected(self, engine_topology):
+        with pytest.raises(ReproError):
+            ExperimentRunner(engine_topology, two_cell_spec(), workers=0)
+        with pytest.raises(ReproError):
+            ExperimentRunner(engine_topology, two_cell_spec(), batch_size=0)
+
+
+class TestSpecValidation:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentSpec(cells=(), trials=1)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ReproError):
+            two_cell_spec(trials=0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ReproError):
+            two_cell_spec(fractions=(1.5,))
+
+    def test_duplicate_cell_names_rejected(self):
+        with pytest.raises(ReproError, match="duplicate cell names"):
+            ExperimentSpec(
+                cells=(
+                    ScenarioCell("forged-origin", MinimalRoa()),
+                    ScenarioCell("forged-origin", MinimalRoa()),
+                ),
+                trials=1,
+            )
+
+    def test_unknown_seeding_rejected(self):
+        with pytest.raises(ReproError, match="unknown seeding"):
+            two_cell_spec(seeding="chaotic")
+
+    def test_unknown_attack_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown attack kind"):
+            AttackConfig("route-leak")
+
+    def test_attack_prefix_outside_victim_rejected(self):
+        with pytest.raises(ReproError):
+            two_cell_spec(attack_prefix=Prefix.parse("9.9.9.0/24"))
+
+    def test_derived_attack_prefix_extends_by_8(self):
+        assert two_cell_spec().effective_attack_prefix == (
+            Prefix.parse("168.122.0.0/24")
+        )
+
+    def test_grid_cross_product(self):
+        spec = ExperimentSpec.grid(
+            ("subprefix-hijack", "forged-origin-subprefix"),
+            (NoRoa(), MinimalRoa()),
+            trials=2,
+        )
+        assert [cell.name for cell in spec.cells] == [
+            "subprefix-hijack/none",
+            "subprefix-hijack/minimal",
+            "forged-origin-subprefix/none",
+            "forged-origin-subprefix/minimal",
+        ]
+
+
+class TestJsonRoundTrip:
+    def test_full_round_trip(self):
+        spec = ExperimentSpec(
+            cells=(
+                ScenarioCell(
+                    AttackConfig("forged-origin", attackers=2, prepend=1),
+                    # 1/3 has no short decimal form: pins that the JSON
+                    # form carries the exact float, not a rounded label.
+                    PartialCoverageRoa(MinimalRoa(), 1 / 3),
+                ),
+                ScenarioCell(
+                    "subprefix-hijack",
+                    CustomRoa(
+                        (Vrp(Prefix.parse("10.0.0.0/16"), 24, 65001),),
+                        name="lab",
+                    ),
+                ),
+            ),
+            trials=3,
+            seed=9,
+            fractions=(0.5, None),
+            sampler=FixedPairSampler(111, (666, 667)),
+            victim_prefix=Prefix.parse("10.0.0.0/16"),
+            seeding="stream",
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_policy_names(self):
+        assert policy_from_name("minimal") == MinimalRoa()
+        assert policy_from_name("maxlength-loose") == MaxLengthLooseRoa()
+        assert policy_from_name("maxlength-22") == MaxLengthLooseRoa(22)
+        assert policy_from_name("none") == NoRoa()
+        assert policy_from_name("minimal@0.3") == (
+            PartialCoverageRoa(MinimalRoa(), 0.3)
+        )
+        with pytest.raises(ReproError):
+            policy_from_name("maximal")
+
+    def test_partial_over_custom_round_trips(self):
+        spec = ExperimentSpec(
+            cells=(
+                ScenarioCell(
+                    "subprefix-hijack",
+                    PartialCoverageRoa(
+                        CustomRoa(
+                            (Vrp(Prefix.parse("10.0.0.0/16"), 24, 65001),),
+                        ),
+                        0.75,
+                    ),
+                ),
+            ),
+            trials=1,
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_bad_spec_json_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentSpec.from_json("[1, 2]")
+        with pytest.raises(ReproError):
+            ExperimentSpec.from_json("{bad json")
+        with pytest.raises(ReproError, match="missing key"):
+            ExperimentSpec.from_json('{"cells": [{"kind": "forged-origin"}]}')
+        with pytest.raises(ReproError, match="bad spec JSON value"):
+            ExperimentSpec.from_json(
+                '{"cells": [{"kind": "forged-origin"}], "trials": "many"}'
+            )
+        with pytest.raises(ReproError, match="bad cell entry"):
+            ExperimentSpec.from_json(
+                '{"cells": [{"kind": "forged-origin", '
+                '"attackers": "two"}], "trials": 1}'
+            )
+
+
+class TestScenarioDiversity:
+    """The scenario space the hand-rolled loops could not express."""
+
+    @pytest.fixture(scope="class")
+    def diversity_result(self, engine_topology):
+        spec = ExperimentSpec(
+            cells=(
+                ScenarioCell(AttackConfig("forged-origin"), MinimalRoa()),
+                ScenarioCell(
+                    AttackConfig("forged-origin", attackers=3), MinimalRoa()
+                ),
+                ScenarioCell(
+                    AttackConfig("forged-origin", prepend=3), MinimalRoa()
+                ),
+                ScenarioCell(
+                    "forged-origin-subprefix",
+                    PartialCoverageRoa(MinimalRoa(), 0.5),
+                ),
+            ),
+            trials=8,
+            seed=3,
+        )
+        return ExperimentRunner(engine_topology, spec).run(
+            bootstrap_resamples=100
+        )
+
+    def test_more_attackers_capture_more(self, diversity_result):
+        single = diversity_result.cell("forged-origin/minimal")
+        triple = diversity_result.cell("forged-origin+x3/minimal")
+        assert triple.mean > single.mean
+
+    def test_prepending_weakens_the_attack(self, diversity_result):
+        plain = diversity_result.cell("forged-origin/minimal")
+        prepended = diversity_result.cell("forged-origin+prepend3/minimal")
+        assert prepended.mean < plain.mean
+
+    def test_partial_coverage_mixes_outcomes(self, diversity_result):
+        """Each trial's victim either issued the minimal ROA (capture 0)
+        or did not (capture 1): the average sits strictly between."""
+        partial = diversity_result.cell(
+            "forged-origin-subprefix/minimal@0.5"
+        )
+        assert set(partial.values) <= {0.0, 1.0}
+        assert 0.0 < partial.mean < 1.0
+
+    def test_partial_coverage_validates(self):
+        with pytest.raises(ReproError):
+            PartialCoverageRoa(MinimalRoa(), 1.5)
+        with pytest.raises(ReproError, match="nest"):
+            PartialCoverageRoa(PartialCoverageRoa(MinimalRoa(), 0.5), 0.5)
+
+    def test_fixed_pair_sampler_pins_the_cast(self, engine_topology):
+        stubs = sorted(engine_topology.stub_ases())
+        victim, attacker = stubs[0], stubs[-1]
+        spec = ExperimentSpec(
+            cells=(ScenarioCell("subprefix-hijack", NoRoa()),),
+            trials=3,
+            sampler=FixedPairSampler(victim, (attacker,)),
+        )
+        records = list(
+            ExperimentRunner(engine_topology, spec).iter_records()
+        )
+        assert {(r.victim, r.attackers) for r in records} == {
+            (victim, (attacker,))
+        }
+
+    def test_fixed_pair_sampler_rejects_overlap(self):
+        with pytest.raises(ReproError, match="distinct"):
+            FixedPairSampler(1, (1,))
+
+    def test_any_as_sampler_uses_whole_topology(self, engine_topology):
+        pool = AnyAsPairSampler().population(engine_topology)
+        assert pool == tuple(sorted(engine_topology.ases))
+        assert len(pool) > len(StubPairSampler().population(engine_topology))
+
+    def test_sampler_rejects_tiny_population(self):
+        with pytest.raises(ReproError, match="cannot cast"):
+            StubPairSampler().sample((1,), random.Random(0), 1)
+
+
+class TestAggregation:
+    def test_single_trial_stats(self, engine_topology):
+        spec = two_cell_spec(trials=1)
+        result = ExperimentRunner(engine_topology, spec).run(
+            bootstrap_resamples=50
+        )
+        stats = result.stats[0][0]
+        assert stats.trials == 1
+        assert stats.stdev == 0.0
+        assert stats.ci_low == stats.ci_high == stats.mean
+
+    def test_ci_brackets_the_mean(self, engine_topology):
+        spec = ExperimentSpec(
+            cells=(ScenarioCell("forged-origin", MinimalRoa()),),
+            trials=10,
+            seed=2,
+        )
+        stats = ExperimentRunner(engine_topology, spec).run(
+            bootstrap_resamples=300
+        ).stats[0][0]
+        assert min(stats.values) <= stats.ci_low <= stats.mean
+        assert stats.mean <= stats.ci_high <= max(stats.values)
+
+    def test_fractions_sum_to_one(self, engine_topology):
+        spec = two_cell_spec(trials=2)
+        for record in ExperimentRunner(engine_topology, spec).iter_records():
+            total = (
+                record.attacker_fraction
+                + record.victim_fraction
+                + record.disconnected_fraction
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_filtered_fraction_full_deployment(self, engine_topology):
+        spec = ExperimentSpec(
+            cells=(ScenarioCell("subprefix-hijack", MinimalRoa()),),
+            trials=3,
+        )
+        stats = ExperimentRunner(engine_topology, spec).run(
+            bootstrap_resamples=50
+        ).stats[0][0]
+        assert stats.filtered_fraction == 1.0
+        assert stats.mean == 0.0
+
+    def test_missing_records_rejected(self, engine_topology):
+        spec = two_cell_spec(trials=2)
+        records = list(
+            ExperimentRunner(engine_topology, spec).iter_records()
+        )
+        with pytest.raises(ReproError, match="1 of 2 trials"):
+            aggregate_records(spec, records[:-2])
+
+    def test_duplicate_records_rejected(self, engine_topology):
+        spec = two_cell_spec(trials=1)
+        records = list(
+            ExperimentRunner(engine_topology, spec).iter_records()
+        )
+        with pytest.raises(ReproError, match="duplicate record"):
+            aggregate_records(spec, records + records)
+
+    def test_cell_lookup_errors(self, engine_topology):
+        result = ExperimentRunner(
+            engine_topology, two_cell_spec(trials=1)
+        ).run(bootstrap_resamples=50)
+        with pytest.raises(ReproError, match="no cell named"):
+            result.cell("nonexistent")
+        with pytest.raises(ReproError, match="no fraction"):
+            result.cell("forged-origin-subprefix/minimal", 0.3)
+
+    def test_render_mentions_every_cell(self, engine_topology):
+        result = ExperimentRunner(
+            engine_topology, two_cell_spec(trials=2, fractions=(0.0, 1.0))
+        ).run(bootstrap_resamples=50)
+        text = result.render()
+        assert "forged-origin-subprefix/minimal" in text
+        assert "0%" in text and "100%" in text
+        assert "bootstrap CI" in text
+
+
+class TestLegacyReplay:
+    """The adapters reproduce the pre-engine seeded numbers exactly.
+
+    Golden values were captured from the original hand-rolled loops
+    (sequential ``random.Random`` streams) before the engine rewrite.
+    """
+
+    @pytest.fixture(scope="class")
+    def replay_topology(self):
+        return generate_topology(TopologyProfile(ases=150), random.Random(5))
+
+    def test_hijack_study_golden(self, replay_topology):
+        from repro.analysis import run_hijack_study
+
+        result = run_hijack_study(replay_topology, samples=7, seed=42)
+        assert result.subprefix_no_rpki == 1.0
+        assert result.forged_subprefix_nonminimal == 1.0
+        assert result.forged_subprefix_minimal == 0.0
+        assert result.forged_origin_minimal == 0.3146718146718147
+
+    def test_deployment_sweep_golden(self, replay_topology):
+        from repro.analysis import run_deployment_sweep
+
+        sweep = run_deployment_sweep(
+            replay_topology, fractions=(0.25, 0.75), samples=5, seed=9
+        )
+        assert sweep.points[0].subprefix_hijack == 0.28378378378378377
+        assert sweep.points[0].forged_subprefix_vs_minimal == (
+            0.28378378378378377
+        )
+        assert sweep.points[0].forged_subprefix_vs_nonminimal == 1.0
+        assert sweep.points[1].subprefix_hijack == 0.0
+
+    def test_studies_identical_across_executors(self, replay_topology):
+        from repro.analysis import run_deployment_sweep, run_hijack_study
+
+        assert run_hijack_study(
+            replay_topology, samples=4, seed=1
+        ) == run_hijack_study(
+            replay_topology, samples=4, seed=1,
+            executor="process", workers=2,
+        )
+        assert run_deployment_sweep(
+            replay_topology, fractions=(0.5,), samples=3, seed=2
+        ) == run_deployment_sweep(
+            replay_topology, fractions=(0.5,), samples=3, seed=2,
+            executor="process", workers=2,
+        )
+
+
+class TestEvaluateTrial:
+    def test_records_carry_grid_coordinates(self, engine_topology):
+        spec = two_cell_spec(trials=1, fractions=(0.0, 1.0))
+        trials = materialize_trials(spec, engine_topology)
+        records = evaluate_trial(engine_topology, spec, trials[-1])
+        assert [r.cell_index for r in records] == [0, 1]
+        assert all(r.fraction_index == 1 for r in records)
+        assert all(r.fraction == 1.0 for r in records)
+        assert records[0].cell == "forged-origin-subprefix/minimal"
+
+    def test_cells_share_one_tie_rng(self, engine_topology):
+        """Evaluating the cells separately with fresh RNGs must differ
+        from the paired evaluation for at least the RNG state — the
+        paired design is load-bearing for legacy replay, so pin it."""
+        spec = ExperimentSpec(
+            cells=(
+                ScenarioCell("forged-origin", MinimalRoa()),
+                ScenarioCell("forged-origin", NoRoa()),
+            ),
+            trials=1,
+            seed=0,
+        )
+        trial = materialize_trials(spec, engine_topology)[0]
+        paired = evaluate_trial(engine_topology, spec, trial)
+        # Re-evaluate cell 1 alone: same tie seed now unconsumed by cell 0.
+        solo_spec = ExperimentSpec(
+            cells=(spec.cells[1],), trials=1, seed=0
+        )
+        solo = evaluate_trial(
+            engine_topology, solo_spec,
+            TrialSpec(
+                fraction_index=0, trial_index=0, victim=trial.victim,
+                attackers=trial.attackers, validating_ases=None,
+                tie_seed=trial.tie_seed,
+            ),
+        )
+        # Both are valid measurements of the same scenario; equality of
+        # the *scenario* is what matters, not of the luck.
+        assert solo[0].cell == paired[1].cell
+        assert solo[0].victim == paired[1].victim
