@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Propagation-engine throughput: object vs array on a large AS graph.
+
+Runs the paper's §4 attack measurement (forged-origin subprefix hijack
+against a maxLength-loose ROA — two full propagations per evaluation,
+origin validation on) over sampled stub (victim, attacker) pairs on a
+synthetic ≥10k-AS topology, once per engine, and records wall time,
+propagations/sec, and the speedup.  Asserts the two invariants that
+gate CAIDA-scale grids:
+
+* both engines return identical capture fractions on every pair, and
+* the array engine is ≥5× faster than the object engine.
+
+Topology compilation (the array engine's one-time CSR build) is timed
+separately and excluded from the per-evaluation throughput — it is
+amortized over an entire experiment grid.  A warmup evaluation per
+engine runs before the clock starts, and the timed section repeats
+(``--repeats``, default 3) with the best run counting, so shared-runner
+scheduler noise cannot flake the ≥5× gate.
+
+Emits a JSON document to stdout and a copy into
+``benchmarks/results/propagation.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_propagation.py \
+          [--ases 10000] [--pairs 8] [--seed 11]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.bgp import Seed, VrpIndex, evaluate_attack_seeds
+from repro.data import TopologyProfile, generate_topology
+from repro.netbase import Prefix
+from repro.rpki import Vrp
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+VICTIM_PREFIX = Prefix.parse("168.122.0.0/16")
+ATTACK_PREFIX = Prefix.parse("168.122.0.0/24")
+
+
+def evaluate_pair(topology, victim, attacker, rng_seed, engine):
+    """One §4 evaluation: forged-origin subprefix vs a loose ROA."""
+    vrp_index = VrpIndex([Vrp(VICTIM_PREFIX, 24, victim)])
+    return evaluate_attack_seeds(
+        topology, victim, VICTIM_PREFIX, ATTACK_PREFIX,
+        [Seed.forged_origin(attacker, victim)],
+        vrp_index=vrp_index,
+        rng=random.Random(rng_seed),
+        engine=engine,
+    )
+
+
+def bench_engine(topology, pairs, engine, repeats):
+    # Warmup: primes the compiled-topology cache (array) and gives both
+    # engines one un-timed evaluation.  The timed section then runs
+    # ``repeats`` times and the best wall time counts — scheduler noise
+    # on a shared runner only ever slows a run down, so the minimum is
+    # the honest estimate and keeps the CI gate from flaking.
+    evaluate_pair(topology, pairs[0][0], pairs[0][1], 0, engine)
+    best = None
+    outcomes = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outcomes = [
+            evaluate_pair(topology, victim, attacker, index, engine)
+            for index, (victim, attacker) in enumerate(pairs)
+        ]
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    propagations = 2 * len(pairs)  # covering + attack prefix per pair
+    return {
+        "engine": engine,
+        "wall_seconds": round(best, 4),
+        "evaluations": len(pairs),
+        "timing_repeats": repeats,
+        "propagations_per_second": round(propagations / best, 1),
+        "_outcomes": outcomes,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ases", type=int, default=10000,
+                        help="synthetic topology size (default 10000)")
+    parser.add_argument("--pairs", type=int, default=8,
+                        help="sampled (victim, attacker) stub pairs")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions; best run counts")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    print(f"generating a {args.ases}-AS topology...", file=sys.stderr)
+    topology = generate_topology(
+        TopologyProfile(ases=args.ases), random.Random(args.seed)
+    )
+    start = time.perf_counter()
+    compiled = topology.compiled()
+    compile_seconds = time.perf_counter() - start
+
+    stubs = sorted(topology.stub_ases())
+    rng = random.Random(args.seed)
+    pairs = [tuple(rng.sample(stubs, 2)) for _ in range(args.pairs)]
+
+    print(f"object engine: {args.pairs} evaluations x {args.repeats}...",
+          file=sys.stderr)
+    object_run = bench_engine(topology, pairs, "object", args.repeats)
+    print(f"array engine: {args.pairs} evaluations x {args.repeats}...",
+          file=sys.stderr)
+    array_run = bench_engine(topology, pairs, "array", args.repeats)
+
+    identical = object_run.pop("_outcomes") == array_run.pop("_outcomes")
+    speedup = round(
+        object_run["wall_seconds"] / array_run["wall_seconds"], 2
+    )
+    report = {
+        "benchmark": "propagation",
+        "topology_ases": len(topology),
+        "topology_edges": topology.edge_count(),
+        "compile_seconds": round(compile_seconds, 4),
+        "compiled_size": len(compiled),
+        "object": object_run,
+        "array": array_run,
+        "speedup": speedup,
+        "acceptance": {
+            "results_identical": identical,
+            "gte_5x_speedup": speedup >= 5.0,
+        },
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "propagation.json").write_text(
+        text + "\n", encoding="utf-8"
+    )
+    failed = [
+        name for name, passed in report["acceptance"].items()
+        if passed is False
+    ]
+    if failed:
+        print(f"acceptance FAILED: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,26 @@
-"""Legacy setup shim.
+"""Setuptools metadata for the reproduction package.
 
-The build environment has no ``wheel`` package, so PEP 660 editable
-installs are unavailable; ``pip install -e . --no-build-isolation
---no-use-pep517`` uses this file via ``setup.py develop`` instead.
-All metadata lives in pyproject.toml.
+Kept as a plain ``setup.py`` (no pyproject.toml) because the build
+environment has no ``wheel`` package, so PEP 660 editable installs are
+unavailable; ``pip install -e . --no-build-isolation --no-use-pep517``
+falls back to ``setup.py develop`` via this file.  The library has
+zero runtime dependencies beyond the standard library, and everything
+also works uninstalled with ``PYTHONPATH=src`` (``repro-roa`` ≡
+``python -m repro.cli``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-roa",
+    version="0.3.0",
+    description=(
+        "Reproduction of 'MaxLength Considered Harmful to the RPKI' "
+        "(CoNEXT'17): RPKI object model, compress_roas, hijack "
+        "simulations, RTR serving tier"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    entry_points={"console_scripts": ["repro-roa = repro.cli:main"]},
+)

@@ -73,6 +73,7 @@ def deployment_sweep_spec(
     samples: int = 20,
     seed: int = 0,
     victim_prefix: Prefix = Prefix.parse("168.122.0.0/16"),
+    engine: str = "object",
 ) -> ExperimentSpec:
     """The sweep as a declarative spec: three cells × the fraction axis."""
     return ExperimentSpec(
@@ -86,6 +87,7 @@ def deployment_sweep_spec(
         fractions=tuple(fractions),
         victim_prefix=victim_prefix,
         seeding="stream",
+        engine=engine,
     )
 
 
@@ -98,15 +100,17 @@ def run_deployment_sweep(
     victim_prefix: Prefix = Prefix.parse("168.122.0.0/16"),
     executor: str = "serial",
     workers: Optional[int] = None,
+    engine: str = "object",
 ) -> DeploymentSweep:
     """Sweep validation deployment against the three attack variants.
 
     Validating ASes are sampled uniformly per trial; each (victim,
-    attacker) pair is a stub pair, as in the hijack study.
+    attacker) pair is a stub pair, as in the hijack study.  ``engine``
+    selects the propagation backend (``"array"`` for large graphs).
     """
     spec = deployment_sweep_spec(
         fractions=fractions, samples=samples, seed=seed,
-        victim_prefix=victim_prefix,
+        victim_prefix=victim_prefix, engine=engine,
     )
     result = ExperimentRunner(
         topology, spec, executor=executor, workers=workers

@@ -85,11 +85,13 @@ def hijack_study_spec(
     samples: int = 50,
     seed: int = 0,
     victim_prefix: Prefix = Prefix.parse("168.122.0.0/16"),
+    engine: str = "object",
 ) -> ExperimentSpec:
     """The study as a declarative spec: the four historical cells.
 
     Stream seeding replays the exact RNG consumption of the original
-    sequential loop — same pairs, same tie-breaks, same numbers.
+    sequential loop — same pairs, same tie-breaks, same numbers (the
+    ``"array"`` engine included, since the backends are bit-identical).
     """
     return ExperimentSpec(
         cells=(
@@ -102,6 +104,7 @@ def hijack_study_spec(
         seed=seed,
         victim_prefix=victim_prefix,
         seeding="stream",
+        engine=engine,
     )
 
 
@@ -113,6 +116,7 @@ def run_hijack_study(
     victim_prefix: Prefix = Prefix.parse("168.122.0.0/16"),
     executor: str = "serial",
     workers: Optional[int] = None,
+    engine: str = "object",
 ) -> HijackStudyResult:
     """Sample attacks between random stub pairs and average capture.
 
@@ -120,13 +124,15 @@ def run_hijack_study(
     topology's stub ASes (hijacks are typically launched from and
     against the edge), gives the victim a /16 with either a minimal
     ROA ``(p, len(p))`` or a non-minimal ``(p, maxLength 24)``, and
-    measures each attack variant's capture fraction.
+    measures each attack variant's capture fraction.  ``engine``
+    selects the propagation backend (``"array"`` for large graphs).
     """
     if len(topology.stub_ases()) < 2:
         raise ValueError("topology has too few stub ASes for a study")
 
     spec = hijack_study_spec(
-        samples=samples, seed=seed, victim_prefix=victim_prefix
+        samples=samples, seed=seed, victim_prefix=victim_prefix,
+        engine=engine,
     )
     result = ExperimentRunner(
         topology, spec, executor=executor, workers=workers

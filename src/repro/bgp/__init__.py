@@ -16,12 +16,15 @@ from .message import (
     update_to_announcements,
 )
 from .attacks import (
+    ENGINES,
     AttackKind,
     AttackOutcome,
     AttackScenario,
+    coerce_engine,
     evaluate_attack,
     evaluate_attack_seeds,
 )
+from .fastprop import evaluate_attack_seeds_array, propagate_prefix_array
 from .origin_validation import ValidationState, VrpIndex, validate_announcement
 from .rib import AdjRibIn, Rib
 from .session import BgpSessionError, BgpSpeaker
@@ -32,7 +35,12 @@ from .simulation import (
     SimulationError,
     propagate_prefix,
 )
-from .topology import AsTopology, Relationship, TopologyError
+from .topology import (
+    AsTopology,
+    CompiledTopology,
+    Relationship,
+    TopologyError,
+)
 
 __all__ = [
     "AdjRibIn",
@@ -51,6 +59,7 @@ __all__ = [
     "encode_message",
     "update_to_announcements",
     "AsTopology",
+    "CompiledTopology",
     "BgpSessionError",
     "BgpSpeaker",
     "AttackKind",
@@ -65,8 +74,12 @@ __all__ = [
     "TopologyError",
     "ValidationState",
     "VrpIndex",
+    "ENGINES",
+    "coerce_engine",
     "evaluate_attack",
     "evaluate_attack_seeds",
+    "evaluate_attack_seeds_array",
     "propagate_prefix",
+    "propagate_prefix_array",
     "validate_announcement",
 ]

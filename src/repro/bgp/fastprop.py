@@ -1,0 +1,490 @@
+"""CAIDA-scale route propagation: Gao–Rexford as flat-array sweeps.
+
+:func:`repro.bgp.simulation.propagate_prefix` is a faithful but
+object-heavy bucketed BFS: every neighbor view builds a frozenset,
+every offer builds a path tuple and scans it for loops, and — when
+origin validation is on — every offer walks the VRP radix tree.  None
+of that is necessary.  This module runs the same three propagation
+phases over an :class:`~repro.bgp.topology.CompiledTopology`:
+
+* adjacency is CSR-style flat integer arrays, iterated row by row;
+* per-AS route state is five parallel arrays (adopted flag, seed slot,
+  parent index, path length, route class) — paths are parent chains,
+  materialized only on demand;
+* origin validation collapses to one RFC 6811 verdict per *seed*
+  (every propagated copy of an announcement claims the same origin)
+  combined with a per-AS validation bitmask, so the per-offer check is
+  two byte loads instead of a radix walk.
+
+**Bit-for-bit contract.**  Given the same topology, seeds, and RNG,
+the array engine produces exactly the routes and consumes exactly the
+random stream of the object engine.  This works because:
+
+1. AS indices are assigned in ascending ASN order, so sorting offers
+   by source index equals the object engine's sort by advertising
+   neighbor — and neighbors are distinct per candidate list, so the
+   rest of the object engine's ``(neighbor, path, seed)`` sort key is
+   never consulted.
+2. Adoption proceeds per path-length bucket in ascending target order,
+   the same schedule the object engine follows, so tie-break draws
+   happen in the same sequence.
+3. ``rng.choice`` consumes randomness as a function of candidate count
+   only, which both engines present identically.
+
+The test suite pins this contract; keep it when touching either
+engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence, Union
+
+from ..netbase import Prefix
+from ..netbase.errors import ReproError
+from .origin_validation import ValidationState, VrpIndex
+from .simulation import Route, RouteClass, Seed, SimulationError
+from .topology import AsTopology, CompiledTopology
+
+__all__ = ["propagate_prefix_array", "evaluate_attack_seeds_array"]
+
+_ORIGIN = int(RouteClass.ORIGIN)
+_CUSTOMER = int(RouteClass.CUSTOMER)
+_PEER = int(RouteClass.PEER)
+_PROVIDER = int(RouteClass.PROVIDER)
+
+
+def _fast_randbelow_ok() -> bool:
+    """Can we inline ``Random.choice``'s rejection sampling?
+
+    The hot loop draws one tie-break per adoption; going through
+    ``rng.choice`` costs two extra Python frames each time.  When the
+    platform's ``Random._randbelow`` is the documented
+    getrandbits-rejection loop we consume the identical bit stream
+    inline; this probe verifies that equivalence once at import and
+    the engine falls back to ``rng.choice`` if it ever fails.
+    """
+    reference, inlined = random.Random(7), random.Random(7)
+    for size in (1, 2, 3, 5, 17):
+        expected = reference.choice(range(size))
+        getrandbits = inlined.getrandbits
+        bits = size.bit_length()
+        draw = getrandbits(bits)
+        while draw >= size:
+            draw = getrandbits(bits)
+        if draw != expected or reference.getstate() != inlined.getstate():
+            return False
+    return True
+
+
+_FAST_RANDBELOW = _fast_randbelow_ok()
+
+
+def _choose(srcs: list[int], rng: Optional[random.Random]) -> int:
+    """Tie-break exactly as the object engine's sorted ``rng.choice``."""
+    if rng is None:
+        return min(srcs)
+    srcs.sort()
+    return rng.choice(srcs)
+
+
+class _State:
+    """Raw propagation outcome: five parallel per-AS-index arrays plus
+    per-seed adoption counts (maintained during the sweeps, so capture
+    fractions never need an O(n) scan)."""
+
+    __slots__ = (
+        "seed_list", "adopted", "slot", "parent", "plen", "klass", "counts",
+    )
+
+    def __init__(
+        self,
+        seed_list: list[Seed],
+        adopted: bytearray,
+        slot: list[int],
+        parent: list[int],
+        plen: list[int],
+        klass: bytearray,
+        counts: list[int],
+    ) -> None:
+        self.seed_list = seed_list
+        self.adopted = adopted
+        self.slot = slot
+        self.parent = parent
+        self.plen = plen
+        self.klass = klass
+        self.counts = counts
+
+
+def _compiled_of(
+    topology: Union[AsTopology, CompiledTopology]
+) -> CompiledTopology:
+    if isinstance(topology, AsTopology):
+        return topology.compiled()
+    return topology
+
+
+def _propagate(
+    compiled: CompiledTopology,
+    prefix: Prefix,
+    seed_list: list[Seed],
+    vrp_index: Optional[VrpIndex],
+    validating_ases: Optional[frozenset[int]],
+    rng: Optional[random.Random],
+) -> _State:
+    """The three Gao–Rexford phases as array sweeps."""
+    n = len(compiled)
+    index_of = compiled.index_of
+
+    seen: set[int] = set()
+    for seed in seed_list:
+        if seed.asn not in index_of:
+            raise SimulationError(f"seed AS{seed.asn} not in topology")
+        if seed.asn in seen:
+            raise SimulationError(f"duplicate seed for AS{seed.asn}")
+        seen.add(seed.asn)
+
+    # One validation verdict per seed: every propagated copy claims the
+    # seed's origin, so the object engine's per-offer radix walk is a
+    # constant here.
+    mask = None
+    invalid = [False] * len(seed_list)
+    if vrp_index is not None:
+        mask = compiled.validation_mask(validating_ases)
+        for k, seed in enumerate(seed_list):
+            invalid[k] = (
+                vrp_index.validate(prefix, seed.path[-1])
+                is ValidationState.INVALID
+            )
+
+    # Per-seed offer block mask: never offer a route to an AS on its
+    # seed's initial path (loop prevention — every later hop is an
+    # adopter and already excluded by the adopted flag), nor — for an
+    # invalid seed — to a validating AS.
+    blocked: list[bytearray] = []
+    for k, seed in enumerate(seed_list):
+        blk = bytearray(mask) if (mask is not None and invalid[k]) else (
+            bytearray(n)
+        )
+        for asn in seed.path:
+            i = index_of.get(asn)
+            if i is not None:
+                blk[i] = 1
+        blocked.append(blk)
+
+    adopted = bytearray(n)
+    slot = [0] * n
+    parent = [-1] * n
+    plen = [0] * n
+    klass = bytearray(n)
+    counts = [0] * len(seed_list)
+
+    # Inline the tie-break draw when the RNG is a plain Random (the
+    # verified-identical fast path); anything exotic goes through
+    # rng.choice so custom Random subclasses keep exact semantics.
+    getrandbits = (
+        rng.getrandbits
+        if rng is not None and _FAST_RANDBELOW and type(rng) is random.Random
+        else None
+    )
+
+    origins: list[int] = []
+    for k, seed in enumerate(seed_list):
+        i = index_of[seed.asn]
+        if mask is not None and invalid[k] and mask[i]:
+            continue
+        adopted[i] = 1
+        slot[i] = k
+        plen[i] = len(seed.path)
+        klass[i] = _ORIGIN
+        counts[k] += 1
+        origins.append(i)
+
+    def sweep(
+        exporters: list[int],
+        rows: tuple[tuple[int, ...], ...],
+        route_class: int,
+    ) -> None:
+        """Adopt along ``rows`` edges in path-length order, chaining.
+
+        The offer bodies are inlined (sparse rows make a function call
+        per offer the dominant cost), and chained offers all land in
+        the single length+1 bucket, hoisted out of the adoption loop.
+        """
+        buckets: dict[int, dict[int, list[int]]] = {}
+        for i in exporters:
+            row = rows[i]
+            if not row:
+                continue
+            length = plen[i] if klass[i] == _ORIGIN else plen[i] + 1
+            blk = blocked[slot[i]]
+            bucket = buckets.get(length)
+            if bucket is None:
+                bucket = buckets[length] = {}
+            for t in row:
+                if adopted[t] or blk[t]:
+                    continue
+                lst = bucket.get(t)
+                if lst is None:
+                    bucket[t] = [i]
+                else:
+                    lst.append(i)
+        while buckets:
+            length = min(buckets)
+            batch = buckets.pop(length)
+            next_length = length + 1
+            next_bucket = buckets.get(next_length)
+            for t in sorted(batch):
+                if adopted[t]:
+                    continue
+                srcs = batch[t]
+                count = len(srcs)
+                if count == 1:
+                    chosen = srcs[0]
+                    if getrandbits is not None:
+                        while getrandbits(1):
+                            pass
+                    elif rng is not None:
+                        rng.choice(srcs)
+                elif getrandbits is not None:
+                    srcs.sort()
+                    bits = count.bit_length()
+                    draw = getrandbits(bits)
+                    while draw >= count:
+                        draw = getrandbits(bits)
+                    chosen = srcs[draw]
+                else:
+                    chosen = _choose(srcs, rng)
+                adopted[t] = 1
+                k = slot[chosen]
+                slot[t] = k
+                parent[t] = chosen
+                plen[t] = length
+                klass[t] = route_class
+                counts[k] += 1
+                row = rows[t]
+                if row:
+                    blk = blocked[k]
+                    if next_bucket is None:
+                        next_bucket = buckets[next_length] = {}
+                    for u in row:
+                        if adopted[u] or blk[u]:
+                            continue
+                        lst = next_bucket.get(u)
+                        if lst is None:
+                            next_bucket[u] = [t]
+                        else:
+                            lst.append(t)
+
+    # Phase 1 — customer routes climb provider edges.
+    sweep(origins, compiled.provider_rows, _CUSTOMER)
+
+    # Phase 2 — customer/origin routes cross one peering edge; no
+    # chaining, so collect every offer first, then settle each AS by
+    # shortest-then-tie-break in ascending target order.
+    peer_rows = compiled.peer_rows
+    peer_offers: dict[int, list[tuple[int, int]]] = {}
+    for i in range(n):
+        if not adopted[i]:
+            continue
+        k = klass[i]
+        if k != _ORIGIN and k != _CUSTOMER:
+            continue
+        row = peer_rows[i]
+        if not row:
+            continue
+        length = plen[i] if k == _ORIGIN else plen[i] + 1
+        blk = blocked[slot[i]]
+        for t in row:
+            if adopted[t] or blk[t]:
+                continue
+            lst = peer_offers.get(t)
+            if lst is None:
+                peer_offers[t] = [(length, i)]
+            else:
+                lst.append((length, i))
+    for t, options in sorted(peer_offers.items()):
+        best = min(options)[0]
+        srcs = [i for length, i in options if length == best]
+        chosen = _choose(srcs, rng)
+        adopted[t] = 1
+        k = slot[chosen]
+        slot[t] = k
+        parent[t] = chosen
+        plen[t] = best
+        klass[t] = _PEER
+        counts[k] += 1
+
+    # Phase 3 — every adopted route descends customer edges.
+    sweep(
+        [i for i in range(n) if adopted[i]],
+        compiled.customer_rows,
+        _PROVIDER,
+    )
+
+    return _State(seed_list, adopted, slot, parent, plen, klass, counts)
+
+
+def _materialize(compiled: CompiledTopology, state: _State) -> dict[int, Route]:
+    """Expand parent chains into the object engine's Route mapping."""
+    asns = compiled.asns
+    seed_list = state.seed_list
+    adopted, slot = state.adopted, state.slot
+    parent, klass = state.parent, state.klass
+    paths: dict[int, tuple[int, ...]] = {}
+
+    def path_of(i: int) -> tuple[int, ...]:
+        chain: list[int] = []
+        j = i
+        while True:
+            path = paths.get(j)
+            if path is not None:
+                break
+            up = parent[j]
+            if up < 0:
+                path = seed_list[slot[j]].path
+                break
+            chain.append(j)
+            j = up
+        paths[j] = path
+        while chain:
+            child = chain.pop()
+            # The route stored at ``child`` is its parent's offered
+            # path: the parent's own path, parent-prepended unless the
+            # parent originated the announcement.
+            if klass[j] != _ORIGIN:
+                path = (asns[j],) + path
+            paths[child] = path
+            j = child
+        return path
+
+    routes: dict[int, Route] = {}
+    for i in range(len(asns)):
+        if adopted[i]:
+            routes[asns[i]] = Route(
+                path_of(i), RouteClass(klass[i]), seed_list[slot[i]].asn
+            )
+    return routes
+
+
+def propagate_prefix_array(
+    topology: Union[AsTopology, CompiledTopology],
+    prefix: Prefix,
+    seeds: Iterable[Seed],
+    *,
+    vrp_index: Optional[VrpIndex] = None,
+    validating_ases: Optional[frozenset[int]] = None,
+    rng: Optional[random.Random] = None,
+) -> dict[int, Route]:
+    """Drop-in array-engine replacement for
+    :func:`repro.bgp.simulation.propagate_prefix`.
+
+    Accepts either an :class:`AsTopology` (compiled and cached on first
+    use) or a pre-built :class:`CompiledTopology`; returns the same
+    ASN→:class:`Route` mapping, bit-for-bit, including the seeded
+    tie-break stream.
+    """
+    compiled = _compiled_of(topology)
+    state = _propagate(
+        compiled, prefix, list(seeds), vrp_index, validating_ases, rng
+    )
+    return _materialize(compiled, state)
+
+
+def evaluate_attack_seeds_array(
+    topology: Union[AsTopology, CompiledTopology],
+    victim: int,
+    victim_prefix: Prefix,
+    attack_prefix: Prefix,
+    attacker_seeds: Sequence[Seed],
+    *,
+    vrp_index: Optional[VrpIndex] = None,
+    validating_ases: Optional[frozenset[int]] = None,
+    rng: Optional[random.Random] = None,
+) -> tuple[tuple[float, float, float], bool]:
+    """Array-engine core of
+    :func:`repro.bgp.attacks.evaluate_attack_seeds`.
+
+    Same measurement, same return value, same RNG consumption — but the
+    capture fractions are counted straight off the raw adoption arrays,
+    so no path tuple or :class:`Route` is ever materialized.
+    """
+    compiled = _compiled_of(topology)
+    n = len(compiled)
+    index_of = compiled.index_of
+
+    attackers = frozenset(seed.asn for seed in attacker_seeds)
+    cast = [index_of[victim]] if victim in index_of else []
+    for asn in attackers:
+        i = index_of.get(asn)
+        if i is not None and i not in cast:
+            cast.append(i)
+    total = n - len(cast)
+    if total <= 0:
+        raise ReproError("topology too small to judge an attack")
+
+    victim_seed = Seed.origin(victim)
+    is_subprefix = attack_prefix != victim_prefix
+
+    if is_subprefix:
+        cover = _propagate(
+            compiled, victim_prefix, [victim_seed],
+            vrp_index, validating_ases, rng,
+        )
+        attack = _propagate(
+            compiled, attack_prefix, list(attacker_seeds),
+            vrp_index, validating_ases, rng,
+        )
+        attack_adopted = attack.adopted
+        cover_adopted = cover.adopted
+        attack_total = sum(attack.counts)
+        filtered = attack_total == 0
+        # Longest-prefix match: an attack-prefix route wins wherever
+        # one was adopted; the covering route serves the rest.  The
+        # adoption flags are 0/1 bytes, so the cover-minus-overlap
+        # count is one bigint popcount instead of an O(n) scan.
+        attacker_count = attack_total
+        victim_count = (
+            int.from_bytes(cover_adopted, "big")
+            & ~int.from_bytes(attack_adopted, "big")
+        ).bit_count()
+        for i in cast:
+            if attack_adopted[i]:
+                attacker_count -= 1
+            elif cover_adopted[i]:
+                victim_count -= 1
+    else:
+        combined = _propagate(
+            compiled, victim_prefix, [victim_seed, *attacker_seeds],
+            vrp_index, validating_ases, rng,
+        )
+        adopted, slot = combined.adopted, combined.slot
+        victim_count = combined.counts[0]
+        attacker_count = sum(combined.counts) - victim_count
+        for i in cast:
+            if adopted[i]:
+                if slot[i] == 0:
+                    victim_count -= 1
+                else:
+                    attacker_count -= 1
+        if vrp_index is None:
+            filtered = False
+        else:
+            universal = (
+                validating_ases is None
+                or compiled.as_set <= validating_ases
+            )
+            filtered = universal and all(
+                vrp_index.validate(attack_prefix, seed.path[-1])
+                is ValidationState.INVALID
+                for seed in attacker_seeds
+            )
+    disconnected = total - attacker_count - victim_count
+    return (
+        (
+            attacker_count / total,
+            victim_count / total,
+            disconnected / total,
+        ),
+        filtered,
+    )

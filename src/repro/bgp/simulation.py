@@ -149,9 +149,14 @@ def propagate_prefix(
         return vrp_index.validate(prefix, path[-1]) is ValidationState.INVALID
 
     def tie_break(options: list[_Offer]) -> _Offer:
+        # Offers accumulate in neighbor-set iteration order, which is an
+        # artifact of edge insertion order; sort before drawing so the
+        # seeded pick is a function of the topology, not of how it was
+        # built (and so the array engine can reproduce it exactly).
+        options.sort()
         if rng is not None:
             return rng.choice(options)
-        return min(options)
+        return options[0]
 
     adopted: dict[int, Route] = {}
     for seed in seed_list:

@@ -10,11 +10,17 @@ the neighbor views the propagation simulator needs.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Iterator
+from array import array
+from typing import Iterable, Iterator, Optional
 
 from ..netbase.errors import ReproError
 
-__all__ = ["Relationship", "AsTopology", "TopologyError"]
+__all__ = [
+    "Relationship",
+    "AsTopology",
+    "CompiledTopology",
+    "TopologyError",
+]
 
 
 class TopologyError(ReproError):
@@ -41,6 +47,7 @@ class AsTopology:
         self._customers: dict[int, set[int]] = {}
         self._peers: dict[int, set[int]] = {}
         self._nodes: set[int] = set()
+        self._compiled: Optional["CompiledTopology"] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -48,6 +55,7 @@ class AsTopology:
 
     def add_as(self, asn: int) -> None:
         self._nodes.add(asn)
+        self._invalidate()
 
     def add_customer_provider(self, customer: int, provider: int) -> None:
         """Record that ``customer`` buys transit from ``provider``."""
@@ -60,6 +68,7 @@ class AsTopology:
         self._nodes.update((customer, provider))
         self._providers.setdefault(customer, set()).add(provider)
         self._customers.setdefault(provider, set()).add(customer)
+        self._invalidate()
 
     def add_peering(self, left: int, right: int) -> None:
         """Record a settlement-free peering between two ASes."""
@@ -70,6 +79,28 @@ class AsTopology:
         self._nodes.update((left, right))
         self._peers.setdefault(left, set()).add(right)
         self._peers.setdefault(right, set()).add(left)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._compiled = None
+
+    def __getstate__(self) -> dict:
+        # The compiled form is cheap to rebuild and can be large; keep
+        # pickles (multiprocessing workers receive one topology each)
+        # lean by letting every process compile its own.
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        return state
+
+    def compiled(self) -> "CompiledTopology":
+        """The flat-array form of this topology, compiled once.
+
+        The result is cached until the next mutating call; the cache is
+        not pickled, so multiprocessing workers compile independently.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledTopology.from_topology(self)
+        return self._compiled
 
     def _has_edge(self, a: int, b: int) -> bool:
         return (
@@ -157,3 +188,112 @@ class AsTopology:
             else:
                 raise TopologyError(f"unknown edge kind {kind!r}")
         return topology
+
+
+class CompiledTopology:
+    """An :class:`AsTopology` frozen into flat integer arrays.
+
+    ASes get dense indices 0..n-1 in ascending ASN order, so index
+    order and ASN order agree — the property that lets the array
+    propagation engine reproduce the object engine's sorted tie-breaks
+    by comparing indices alone.  Each of the three neighbor relations
+    is stored CSR-style: one flat ``indices`` array of neighbor
+    indices (each row ascending) plus an ``indptr`` offset array, with
+    per-row tuples derived once so the hot loops iterate rows without
+    slicing.
+
+    Instances are immutable snapshots; get one via
+    :meth:`AsTopology.compiled`, which caches until the next mutation.
+    """
+
+    __slots__ = (
+        "asns",
+        "as_set",
+        "index_of",
+        "provider_indptr",
+        "provider_indices",
+        "customer_indptr",
+        "customer_indices",
+        "peer_indptr",
+        "peer_indices",
+        "provider_rows",
+        "customer_rows",
+        "peer_rows",
+    )
+
+    def __init__(
+        self,
+        asns: tuple[int, ...],
+        provider_csr: tuple[array, array],
+        customer_csr: tuple[array, array],
+        peer_csr: tuple[array, array],
+    ) -> None:
+        self.asns = asns
+        self.as_set = frozenset(asns)
+        self.index_of = {asn: i for i, asn in enumerate(asns)}
+        self.provider_indptr, self.provider_indices = provider_csr
+        self.customer_indptr, self.customer_indices = customer_csr
+        self.peer_indptr, self.peer_indices = peer_csr
+        self.provider_rows = self._rows(*provider_csr)
+        self.customer_rows = self._rows(*customer_csr)
+        self.peer_rows = self._rows(*peer_csr)
+
+    @staticmethod
+    def _rows(
+        indptr: array, indices: array
+    ) -> tuple[tuple[int, ...], ...]:
+        return tuple(
+            tuple(indices[indptr[i]:indptr[i + 1]])
+            for i in range(len(indptr) - 1)
+        )
+
+    @classmethod
+    def from_topology(cls, topology: AsTopology) -> "CompiledTopology":
+        """Compile ``topology``; O(V + E log E) once, reused per trial."""
+        asns = tuple(sorted(topology.ases))
+        index_of = {asn: i for i, asn in enumerate(asns)}
+
+        def csr(neighbor_sets: dict[int, set[int]]) -> tuple[array, array]:
+            indptr = array("l", [0])
+            indices = array("l")
+            for asn in asns:
+                for neighbor in sorted(neighbor_sets.get(asn, ())):
+                    indices.append(index_of[neighbor])
+                indptr.append(len(indices))
+            return indptr, indices
+
+        return cls(
+            asns,
+            csr(topology._providers),
+            csr(topology._customers),
+            csr(topology._peers),
+        )
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.index_of
+
+    def edge_count(self) -> int:
+        """Undirected edge count (each c2p and p2p edge once)."""
+        return len(self.provider_indices) + len(self.peer_indices) // 2
+
+    def validation_mask(
+        self, validating_ases: Optional[frozenset[int]]
+    ) -> bytearray:
+        """Per-AS-index bitmask of who enforces origin validation.
+
+        ``None`` means universal validation, matching
+        :func:`repro.bgp.simulation.propagate_prefix`; ASNs outside the
+        topology are ignored.
+        """
+        if validating_ases is None:
+            return bytearray(b"\x01" * len(self.asns))
+        mask = bytearray(len(self.asns))
+        index_of = self.index_of
+        for asn in validating_ases:
+            i = index_of.get(asn)
+            if i is not None:
+                mask[i] = 1
+        return mask

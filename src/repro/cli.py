@@ -162,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--topology-seed", type=int, default=11)
     experiment.add_argument("--executor", choices=("serial", "process"),
                             default="serial")
+    experiment.add_argument(
+        "--engine", choices=("object", "array"),
+        help="propagation backend: object (default) or array (the "
+             "flat-array engine for CAIDA-scale topologies); "
+             "overrides the spec file's engine when given",
+    )
     experiment.add_argument("--workers", type=int,
                             help="process-executor pool size")
     experiment.add_argument("--emit-spec", action="store_true",
@@ -352,9 +358,14 @@ def _experiment_spec_from_args(args: argparse.Namespace):
     )
 
     if args.spec:
-        return ExperimentSpec.from_json(
+        spec = ExperimentSpec.from_json(
             Path(args.spec).read_text(encoding="utf-8")
         )
+        if args.engine and args.engine != spec.engine:
+            import dataclasses
+
+            spec = dataclasses.replace(spec, engine=args.engine)
+        return spec
     attacks = [
         AttackConfig(kind.strip(), attackers=args.attackers,
                      prepend=args.prepend)
@@ -386,6 +397,7 @@ def _experiment_spec_from_args(args: argparse.Namespace):
         attack_prefix=(
             Prefix.parse(args.attack_prefix) if args.attack_prefix else None
         ),
+        engine=args.engine or "object",
     )
 
 

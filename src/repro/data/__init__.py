@@ -7,7 +7,12 @@ arithmetic behind :class:`GeneratorConfig`'s defaults.
 
 from .allocation import AddressAllocator, Allocation, AllocationError
 from .asgraph import TopologyProfile, generate_topology
-from .caida import CaidaFormatError, read_caida, write_caida
+from .caida import (
+    CaidaFormatError,
+    read_caida,
+    read_caida_compiled,
+    write_caida,
+)
 from .distributions import capped_pareto_int, geometric_int, weighted_choice
 from .internet import GeneratorConfig, InternetSnapshot, generate_snapshot
 from .routeviews import (
@@ -37,6 +42,7 @@ __all__ = [
     "generate_topology",
     "generate_weekly_series",
     "read_caida",
+    "read_caida_compiled",
     "write_caida",
     "geometric_int",
     "read_origin_pairs",

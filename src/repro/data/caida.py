@@ -18,10 +18,15 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TextIO, Union
 
-from ..bgp.topology import AsTopology
+from ..bgp.topology import AsTopology, CompiledTopology
 from ..netbase.errors import ReproError
 
-__all__ = ["CaidaFormatError", "read_caida", "write_caida"]
+__all__ = [
+    "CaidaFormatError",
+    "read_caida",
+    "read_caida_compiled",
+    "write_caida",
+]
 
 
 class CaidaFormatError(ReproError):
@@ -70,6 +75,21 @@ def read_caida(source: Union[str, Path, TextIO]) -> AsTopology:
         if own:
             stream.close()
     return topology
+
+
+def read_caida_compiled(
+    source: Union[str, Path, TextIO]
+) -> tuple[AsTopology, CompiledTopology]:
+    """Load a serial-1 file and compile it for the array engine.
+
+    Returns both forms: the mutable :class:`AsTopology` (for seeding,
+    sampling, and the object engine) and its cached
+    :class:`CompiledTopology` (flat CSR arrays for
+    :mod:`repro.bgp.fastprop`).  One call site for CAIDA-scale runs:
+    parse once, compile once, share everywhere.
+    """
+    topology = read_caida(source)
+    return topology, topology.compiled()
 
 
 def write_caida(

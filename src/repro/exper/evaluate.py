@@ -88,6 +88,7 @@ def evaluate_trial(
             vrp_index=vrp_index,
             validating_ases=trial.validating_ases,
             rng=tie_rng,
+            engine=spec.engine,
         )
         records.append(
             TrialRecord(

@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
+from ..bgp.attacks import coerce_engine
 from ..bgp.topology import AsTopology
 from ..netbase import Prefix
 from ..netbase.errors import ReproError
@@ -112,6 +113,10 @@ class ExperimentSpec:
         attack_prefix: the subprefix the attacker announces; ``None``
             derives ``victim_prefix`` extended by 8 bits.
         seeding: ``"derived"`` or ``"stream"`` (see module docstring).
+        engine: propagation backend — ``"object"`` (the readable
+            bucketed BFS) or ``"array"`` (the flat-array engine that
+            makes CAIDA-scale grids practical).  The two are
+            bit-identical, so this is purely a speed knob.
     """
 
     cells: tuple[ScenarioCell, ...]
@@ -124,6 +129,7 @@ class ExperimentSpec:
     )
     attack_prefix: Optional[Prefix] = None
     seeding: str = "derived"
+    engine: str = "object"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "cells", tuple(self.cells))
@@ -141,6 +147,7 @@ class ExperimentSpec:
             raise ReproError(
                 f"unknown seeding {self.seeding!r}; expected {_SEEDINGS}"
             )
+        coerce_engine(self.engine)
         names = [cell.name for cell in self.cells]
         if len(set(names)) != len(names):
             raise ReproError(f"duplicate cell names in {names}")
@@ -223,6 +230,7 @@ class ExperimentSpec:
                 None if self.attack_prefix is None else str(self.attack_prefix)
             ),
             "seeding": self.seeding,
+            "engine": self.engine,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -251,6 +259,7 @@ class ExperimentSpec:
                     else Prefix.parse(attack_prefix)
                 ),
                 seeding=data.get("seeding", "derived"),
+                engine=data.get("engine", "object"),
             )
         except KeyError as exc:
             raise ReproError(f"spec JSON missing key {exc}") from None

@@ -1,0 +1,179 @@
+"""Executable documentation: the docs cannot rot.
+
+Three enforcement layers:
+
+* every fenced ``json`` block in ``docs/experiments.md`` must parse as
+  an :class:`~repro.exper.ExperimentSpec` and survive a JSON round
+  trip;
+* every ``repro-roa`` command in ``docs/experiments.md`` must exit 0
+  (run via ``python -m repro.cli`` on a tiny topology; a command that
+  mentions ``spec.json`` receives the nearest preceding ``json`` block
+  as that file);
+* every relative link in ``README.md`` and ``docs/*.md`` must resolve,
+  and every public ``repro.exper`` / ``repro.serve`` symbol must carry
+  a docstring (the CI docs job runs this file).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import os
+import pkgutil
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exper import ExperimentSpec
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+EXPERIMENTS_DOC = DOCS / "experiments.md"
+
+_FENCE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _fenced_blocks(text: str) -> list[tuple[str, str]]:
+    return [(m.group(1), m.group(2)) for m in _FENCE.finditer(text)]
+
+
+def _doc_commands() -> list[tuple[str, str | None]]:
+    """(command, nearest preceding json block) pairs, in document order."""
+    latest_json: str | None = None
+    commands: list[tuple[str, str | None]] = []
+    for language, body in _fenced_blocks(
+        EXPERIMENTS_DOC.read_text(encoding="utf-8")
+    ):
+        if language == "json":
+            latest_json = body
+            continue
+        if language not in ("bash", "sh", "console", ""):
+            continue
+        logical: list[str] = []
+        for line in body.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if logical and logical[-1].endswith("\\"):
+                logical[-1] = logical[-1][:-1] + " " + line
+            else:
+                logical.append(line)
+        commands.extend(
+            (line, latest_json)
+            for line in logical
+            if line.startswith("repro-roa ")
+        )
+    return commands
+
+
+def _spec_blocks() -> list[str]:
+    return [
+        body
+        for language, body in _fenced_blocks(
+            EXPERIMENTS_DOC.read_text(encoding="utf-8")
+        )
+        if language == "json"
+    ]
+
+
+def _markdown_files() -> list[Path]:
+    return [REPO / "README.md", *sorted(DOCS.glob("*.md"))]
+
+
+class TestExperimentDocExamples:
+    @pytest.mark.parametrize(
+        "body", _spec_blocks(), ids=lambda b: f"{len(b)}B"
+    )
+    def test_spec_blocks_round_trip(self, body):
+        spec = ExperimentSpec.from_json(body)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_doc_has_examples_at_all(self):
+        assert _spec_blocks(), "experiments.md lost its json spec blocks"
+        assert _doc_commands(), "experiments.md lost its repro-roa commands"
+
+    @pytest.mark.parametrize(
+        "command,spec_json",
+        _doc_commands(),
+        ids=[f"cmd{i}" for i in range(len(_doc_commands()))],
+    )
+    def test_doc_commands_exit_zero(self, command, spec_json, tmp_path):
+        argv = shlex.split(command)
+        assert argv[0] == "repro-roa"
+        if any("spec.json" in argument for argument in argv):
+            assert spec_json is not None, (
+                f"{command!r} references spec.json but no json block "
+                f"precedes it"
+            )
+            (tmp_path / "spec.json").write_text(
+                spec_json, encoding="utf-8"
+            )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (str(REPO / "src"), env.get("PYTHONPATH"))
+            if part
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", *argv[1:]],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, (
+            f"{command!r} exited {completed.returncode}:\n"
+            f"{completed.stderr}"
+        )
+
+
+class TestDocsTree:
+    def test_pages_exist(self):
+        for name in ("architecture.md", "experiments.md", "serving.md"):
+            assert (DOCS / name).is_file(), f"docs/{name} missing"
+        assert (REPO / "README.md").is_file()
+
+    @pytest.mark.parametrize(
+        "markdown", _markdown_files(), ids=lambda p: p.name
+    )
+    def test_relative_links_resolve(self, markdown):
+        broken = []
+        for target in _LINK.findall(markdown.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not (markdown.parent / path).exists():
+                broken.append(target)
+        assert not broken, f"{markdown.name}: broken links {broken}"
+
+
+class TestDocstringPolicy:
+    """New public surface in the scaled subsystems must be documented."""
+
+    @pytest.mark.parametrize("package_name", ["repro.exper", "repro.serve"])
+    def test_public_symbols_have_docstrings(self, package_name):
+        package = importlib.import_module(package_name)
+        modules = [package]
+        for info in pkgutil.iter_modules(package.__path__):
+            modules.append(
+                importlib.import_module(f"{package_name}.{info.name}")
+            )
+        missing = []
+        for module in modules:
+            if not (module.__doc__ or "").strip():
+                missing.append(module.__name__)
+            for name in getattr(module, "__all__", ()):
+                obj = getattr(module, name)
+                if not (inspect.isclass(obj) or inspect.isroutine(obj)):
+                    continue  # constants document themselves in context
+                if not getattr(obj, "__module__", "").startswith("repro"):
+                    continue
+                if not (inspect.getdoc(obj) or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"public symbols missing docstrings: {missing}"

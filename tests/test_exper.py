@@ -439,7 +439,10 @@ class TestLegacyReplay:
     """The adapters reproduce the pre-engine seeded numbers exactly.
 
     Golden values were captured from the original hand-rolled loops
-    (sequential ``random.Random`` streams) before the engine rewrite.
+    (sequential ``random.Random`` streams) before the engine rewrite,
+    then re-pinned once when the seeded tie-break was made independent
+    of edge insertion order (it now sorts candidates before drawing;
+    only ``forged_origin_minimal`` moved).
     """
 
     @pytest.fixture(scope="class")
@@ -453,7 +456,7 @@ class TestLegacyReplay:
         assert result.subprefix_no_rpki == 1.0
         assert result.forged_subprefix_nonminimal == 1.0
         assert result.forged_subprefix_minimal == 0.0
-        assert result.forged_origin_minimal == 0.3146718146718147
+        assert result.forged_origin_minimal == 0.2944015444015444
 
     def test_deployment_sweep_golden(self, replay_topology):
         from repro.analysis import run_deployment_sweep

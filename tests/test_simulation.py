@@ -152,6 +152,53 @@ class TestPreferences:
         routes = propagate_prefix(topo, PFX, [Seed.origin(1)])
         assert routes[9].path == (5, 1)
 
+    def test_seeded_tie_break_independent_of_edge_order(self):
+        """Regression: the seeded tie-break once depended on neighbor-set
+        iteration order, i.e. on the order edges were inserted.  Building
+        the same topology from shuffled edge lists must give identical
+        seeded outcomes."""
+        from repro.data.asgraph import TopologyProfile, generate_topology
+
+        base = generate_topology(TopologyProfile(ases=80), random.Random(3))
+        edges = [(a, b, kind.value == "customer" and "c2p" or "p2p")
+                 for a, b, kind in base.edges()]
+        origin = min(base.stub_ases())
+        reference = propagate_prefix(
+            base, PFX, [Seed.origin(origin)], rng=random.Random(7)
+        )
+        for shuffle_seed in range(5):
+            shuffled = list(edges)
+            random.Random(shuffle_seed).shuffle(shuffled)
+            rebuilt = AsTopology.from_edges(shuffled)
+            routes = propagate_prefix(
+                rebuilt, PFX, [Seed.origin(origin)], rng=random.Random(7)
+            )
+            assert routes == reference
+
+    def test_seeded_tie_break_draws_from_sorted_candidates(self):
+        """Regression: candidate offers once accumulated in adoption
+        order, so the seeded draw depended on *when* each neighbor's
+        route arrived, not just on which neighbors tied.  AS 7 hears two
+        equal-length phase-3 offers — one placed up front by AS 9 (an
+        early customer-route adopter), one chained in later by AS 2 —
+        and the draw must behave as if the list were sorted by ASN."""
+        topo = AsTopology()
+        topo.add_customer_provider(1, 8)   # origin 1 below X=8
+        topo.add_customer_provider(8, 9)   # X below 9: 9 adopts early
+        topo.add_customer_provider(2, 8)   # 2 adopts from X in phase 3
+        topo.add_customer_provider(7, 9)   # 7 buys from both 9 and 2
+        topo.add_customer_provider(7, 2)
+        for seed in range(12):
+            routes = propagate_prefix(
+                topo, PFX, [Seed.origin(1)], rng=random.Random(seed)
+            )
+            # Replay the propagation's four draws: three single-option
+            # adoptions (8, 9, 2), then the tie at AS 7 over sorted {2, 9}.
+            rng = random.Random(seed)
+            for _ in range(3):
+                rng.choice([0])
+            assert routes[7].path[0] == rng.choice([2, 9])
+
     def test_random_tie_break_uses_rng(self):
         topo = AsTopology()
         topo.add_customer_provider(5, 9)
