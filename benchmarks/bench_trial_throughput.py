@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Experiment-engine trial throughput: pre-PR baseline vs the overhaul.
+
+The workload is the paper's §4/§5 ROA-granularity grid — a
+forged-origin/subprefix attacker evaluated against a spectrum of ROA
+maxLength choices (minimal … loose … none) — on a synthetic ≥10k-AS
+topology, array engine.  Two engines run the *identical* trial set:
+
+* **baseline** — the pre-overhaul hot path, reconstructed here: the
+  object ``AsTopology`` shipped to each pool worker, every worker
+  compiling its own flat-array form, every trial allocating fresh
+  propagation state (``evaluate_trial`` with no workspace).
+* **current** — the overhauled ``ExperimentRunner``: the compiled
+  topology shipped once as a flat blob over shared memory, one
+  reusable ``PropagationWorkspace`` per worker, trials streamed in
+  bounded batches.
+
+Both are timed serial and multi-process, and both must produce
+byte-identical aggregated results — the equivalence gate that makes
+the speedup comparison meaningful.  Acceptance (CI-gated): the
+current engine clears **≥3× trials/sec** over the baseline at 10k
+ASes on the process executor.  A synthetic CAIDA-scale (75k-AS) run
+of the current engine is also recorded — reduced trial count, success
+plus trials/sec — unless ``--skip-75k``.
+
+Emits a JSON document to stdout and a copy into
+``benchmarks/results/trial_throughput.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_trial_throughput.py \\
+          [--ases 10000] [--trials 24] [--workers 4] [--skip-75k]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.data import TopologyProfile, generate_topology
+from repro.exper import (
+    ExperimentRunner,
+    ExperimentSpec,
+    MaxLengthLooseRoa,
+    MinimalRoa,
+    NoRoa,
+    PartialCoverageRoa,
+    ScenarioCell,
+    aggregate_records,
+    evaluate_trial,
+    materialize_trials,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def granularity_spec(trials: int, seed: int) -> ExperimentSpec:
+    """The §4/§5 maxLength-granularity sweep: one attack, ten ROA
+    postures from minimal to absent."""
+    policies = (
+        MinimalRoa(),
+        MaxLengthLooseRoa(17),
+        MaxLengthLooseRoa(18),
+        MaxLengthLooseRoa(19),
+        MaxLengthLooseRoa(20),
+        MaxLengthLooseRoa(22),
+        MaxLengthLooseRoa(),
+        PartialCoverageRoa(MinimalRoa(), 0.5),
+        NoRoa(),
+    )
+    cells = tuple(
+        ScenarioCell("forged-origin-subprefix", policy)
+        for policy in policies
+    ) + (ScenarioCell("subprefix-hijack", MinimalRoa()),)
+    return ExperimentSpec(
+        cells=cells, trials=trials, seed=seed, engine="array"
+    )
+
+
+# ----------------------------------------------------------------------
+# The pre-PR baseline, reconstructed: object topology per worker,
+# per-worker recompilation, per-trial state allocation.
+# ----------------------------------------------------------------------
+
+_BASELINE: dict = {}
+
+
+def _baseline_init(topology, spec):
+    _BASELINE["topology"] = topology
+    _BASELINE["spec"] = spec
+
+
+def _baseline_batch(batch):
+    topology = _BASELINE["topology"]
+    spec = _BASELINE["spec"]
+    records = []
+    for trial in batch:
+        records.extend(evaluate_trial(topology, spec, trial))
+    return records
+
+
+def run_baseline(topology, spec, executor, workers):
+    trials = materialize_trials(spec, topology)
+    if executor == "serial":
+        records = [
+            record
+            for trial in trials
+            for record in evaluate_trial(topology, spec, trial)
+        ]
+    else:
+        batch_size = max(1, len(trials) // (workers * 4))
+        batches = [
+            trials[start:start + batch_size]
+            for start in range(0, len(trials), batch_size)
+        ]
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_baseline_init,
+            initargs=(topology, spec),
+        ) as pool:
+            records = [
+                record
+                for chunk in pool.imap_unordered(_baseline_batch, batches)
+                for record in chunk
+            ]
+    return aggregate_records(spec, records, bootstrap_resamples=200)
+
+
+def run_current(topology, spec, executor, workers):
+    runner = ExperimentRunner(
+        topology, spec, executor=executor,
+        workers=workers if executor == "process" else None,
+    )
+    return runner.run(bootstrap_resamples=200)
+
+
+def timed(label, fn, *args):
+    print(f"  {label}...", file=sys.stderr)
+    start = time.perf_counter()
+    result = fn(*args)
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ases", type=int, default=10000,
+                        help="topology size for the gated runs")
+    parser.add_argument("--trials", type=int, default=48,
+                        help="trials per engine/executor combination")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--big-ases", type=int, default=75000,
+                        help="CAIDA-scale topology size")
+    parser.add_argument("--big-trials", type=int, default=3)
+    parser.add_argument("--skip-75k", action="store_true",
+                        help="skip the CAIDA-scale run (CI time budget)")
+    args = parser.parse_args(argv)
+
+    print(f"generating a {args.ases}-AS topology...", file=sys.stderr)
+    topology = generate_topology(
+        TopologyProfile(ases=args.ases), random.Random(args.seed)
+    )
+    spec = granularity_spec(args.trials, args.seed)
+    total = spec.total_trials
+    workers = args.workers
+
+    runs = {}
+    results = {}
+    for engine, runner in (("baseline", run_baseline),
+                           ("current", run_current)):
+        for executor in ("serial", "process"):
+            elapsed, result = timed(
+                f"{engine}/{executor} ({total} trials x "
+                f"{len(spec.cells)} cells)",
+                runner, topology, spec, executor, workers,
+            )
+            runs[f"{engine}_{executor}"] = {
+                "wall_seconds": round(elapsed, 4),
+                "trials": total,
+                "trials_per_second": round(total / elapsed, 2),
+            }
+            results[f"{engine}_{executor}"] = result
+
+    identical = (
+        results["baseline_serial"] == results["baseline_process"]
+        == results["current_serial"] == results["current_process"]
+    )
+    process_speedup = round(
+        runs["current_process"]["trials_per_second"]
+        / runs["baseline_process"]["trials_per_second"], 2
+    )
+    serial_speedup = round(
+        runs["current_serial"]["trials_per_second"]
+        / runs["baseline_serial"]["trials_per_second"], 2
+    )
+
+    big_run = None
+    if not args.skip_75k:
+        print(f"generating a {args.big_ases}-AS topology...",
+              file=sys.stderr)
+        big_topology = generate_topology(
+            TopologyProfile(ases=args.big_ases), random.Random(args.seed)
+        )
+        big_spec = granularity_spec(args.big_trials, args.seed)
+        big_total = big_spec.total_trials
+        try:
+            elapsed, _ = timed(
+                f"current/serial at {args.big_ases} ASes "
+                f"({big_total} trials)",
+                run_current, big_topology, big_spec, "serial", workers,
+            )
+            big_run = {
+                "ases": args.big_ases,
+                "trials": big_total,
+                "wall_seconds": round(elapsed, 4),
+                "trials_per_second": round(big_total / elapsed, 3),
+                "succeeded": True,
+            }
+        except Exception as exc:  # recorded, and fails acceptance below
+            big_run = {
+                "ases": args.big_ases,
+                "succeeded": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    report = {
+        "benchmark": "trial_throughput",
+        "topology_ases": args.ases,
+        "topology_edges": topology.edge_count(),
+        "workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "cells": len(spec.cells),
+        "runs": runs,
+        "speedup_process": process_speedup,
+        "speedup_serial": serial_speedup,
+        "synthetic_75k": big_run,
+        "acceptance": {
+            "results_identical": identical,
+            "gte_3x_trials_per_second": process_speedup >= 3.0,
+            # null = skipped via --skip-75k
+            "caida_scale_run": (
+                None if big_run is None else big_run["succeeded"]
+            ),
+        },
+    }
+    text = json.dumps(report, indent=2)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "trial_throughput.json").write_text(
+        text + "\n", encoding="utf-8"
+    )
+    failed = [
+        name for name, passed in report["acceptance"].items()
+        if passed is False
+    ]
+    if failed:
+        print(f"acceptance FAILED: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,13 @@ from .attacks import (
     evaluate_attack,
     evaluate_attack_seeds,
 )
-from .fastprop import evaluate_attack_seeds_array, propagate_prefix_array
+from .fastprop import (
+    AttackCase,
+    PropagationWorkspace,
+    evaluate_attack_seeds_array,
+    evaluate_attack_seeds_array_batch,
+    propagate_prefix_array,
+)
 from .origin_validation import ValidationState, VrpIndex, validate_announcement
 from .rib import AdjRibIn, Rib
 from .session import BgpSessionError, BgpSpeaker
@@ -62,9 +68,11 @@ __all__ = [
     "CompiledTopology",
     "BgpSessionError",
     "BgpSpeaker",
+    "AttackCase",
     "AttackKind",
     "AttackOutcome",
     "AttackScenario",
+    "PropagationWorkspace",
     "Relationship",
     "Rib",
     "Route",
@@ -79,6 +87,7 @@ __all__ = [
     "evaluate_attack",
     "evaluate_attack_seeds",
     "evaluate_attack_seeds_array",
+    "evaluate_attack_seeds_array_batch",
     "propagate_prefix",
     "propagate_prefix_array",
     "validate_announcement",

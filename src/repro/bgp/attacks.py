@@ -225,6 +225,7 @@ def evaluate_attack_seeds(
     validating_ases: Optional[frozenset[int]] = None,
     rng: Optional[random.Random] = None,
     engine: str = "object",
+    workspace=None,
 ) -> tuple[tuple[float, float, float], bool]:
     """The measurement core, generalized to any attacker seed list.
 
@@ -237,7 +238,10 @@ def evaluate_attack_seeds(
 
     ``engine`` selects the propagation backend (see :data:`ENGINES`);
     both produce identical results, ``"array"`` an order of magnitude
-    faster on large graphs.
+    faster on large graphs.  ``workspace`` — an array-engine
+    :class:`~repro.bgp.fastprop.PropagationWorkspace` — lets repeated
+    evaluations reuse state arrays and propagation profiles; it is
+    ignored by the object engine and never changes results.
     """
     if coerce_engine(engine) == "array":
         from .fastprop import evaluate_attack_seeds_array
@@ -246,6 +250,7 @@ def evaluate_attack_seeds(
             topology, victim, victim_prefix, attack_prefix,
             attacker_seeds, vrp_index=vrp_index,
             validating_ases=validating_ases, rng=rng,
+            workspace=workspace,
         )
     attackers = frozenset(seed.asn for seed in attacker_seeds)
     judged = frozenset(topology.ases) - {victim} - attackers

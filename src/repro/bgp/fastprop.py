@@ -33,11 +33,30 @@ random stream of the object engine.  This works because:
 
 The test suite pins this contract; keep it when touching either
 engine.
+
+**Trial throughput.**  Monte-Carlo grids evaluate thousands of
+propagations on one topology, so the per-propagation constants matter
+as much as the sweep itself.  A :class:`PropagationWorkspace` keeps
+the per-AS state arrays alive across propagations (reset in O(touched
+ASes), not O(n)), caches the per-trial validation bitmask, and — the
+big one — caches *single-seed propagation profiles*: with one seed
+there is no inter-seed competition, so the adoption structure and the
+sequence of tie-break candidate counts are a deterministic function of
+(seed, blocked set) alone, independent of what the RNG actually
+returns.  A repeated single-seed propagation (the victim's covering
+route evaluated for every grid cell, or an attack announcement whose
+RFC 6811 verdict repeats across cells) therefore replays the recorded
+candidate counts through the RNG — consuming the identical random
+stream — without re-running the sweep.  Multi-seed propagations are
+never cached: there the chosen winner decides which seed's blocked
+set gates later offers, so the structure is draw-dependent.
 """
 
 from __future__ import annotations
 
+import contextlib
 import random
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 from ..netbase import Prefix
@@ -46,12 +65,23 @@ from .origin_validation import ValidationState, VrpIndex
 from .simulation import Route, RouteClass, Seed, SimulationError
 from .topology import AsTopology, CompiledTopology
 
-__all__ = ["propagate_prefix_array", "evaluate_attack_seeds_array"]
+__all__ = [
+    "AttackCase",
+    "PropagationWorkspace",
+    "evaluate_attack_seeds_array",
+    "evaluate_attack_seeds_array_batch",
+    "propagate_prefix_array",
+]
 
 _ORIGIN = int(RouteClass.ORIGIN)
 _CUSTOMER = int(RouteClass.CUSTOMER)
 _PEER = int(RouteClass.PEER)
 _PROVIDER = int(RouteClass.PROVIDER)
+
+#: Single-seed profiles kept per workspace before the cache recycles
+#: (bounds worker memory on CAIDA-scale graphs; within one trial a
+#: grid needs at most one profile per cell).
+_PROFILE_CAP = 32
 
 
 def _fast_randbelow_ok() -> bool:
@@ -88,32 +118,110 @@ def _choose(srcs: list[int], rng: Optional[random.Random]) -> int:
     return rng.choice(srcs)
 
 
-class _State:
-    """Raw propagation outcome: five parallel per-AS-index arrays plus
-    per-seed adoption counts (maintained during the sweeps, so capture
-    fractions never need an O(n) scan)."""
+class _Lane:
+    """One reusable set of per-AS propagation arrays.
+
+    ``touched`` lists every index adopted by the last propagation, in
+    adoption order; :meth:`reset` restores the clean-lane invariant in
+    O(touched): ``adopted`` all zero and ``offer_srcs`` all ``None``.
+    The other arrays may hold stale values — they are only ever read
+    behind an ``adopted``/offer guard that guarantees a fresh write
+    happened first.
+    """
 
     __slots__ = (
-        "seed_list", "adopted", "slot", "parent", "plen", "klass", "counts",
+        "n", "adopted", "slot", "parent", "plen", "klass",
+        "offer_srcs", "offer_len", "touched",
     )
 
-    def __init__(
-        self,
-        seed_list: list[Seed],
-        adopted: bytearray,
-        slot: list[int],
-        parent: list[int],
-        plen: list[int],
-        klass: bytearray,
-        counts: list[int],
-    ) -> None:
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.adopted = bytearray(n)
+        self.slot = [0] * n
+        self.parent = [-1] * n
+        self.plen = [0] * n
+        self.klass = bytearray(n)
+        self.offer_srcs: list[Optional[list[int]]] = [None] * n
+        self.offer_len = [0] * n
+        self.touched: list[int] = []
+
+    def reset(self) -> None:
+        adopted = self.adopted
+        offer_srcs = self.offer_srcs
+        for i in self.touched:
+            adopted[i] = 0
+            offer_srcs[i] = None
+        self.touched.clear()
+
+    def hard_reset(self) -> None:
+        """Full reinitialization — for exception paths, where the
+        O(touched) bookkeeping cannot be trusted."""
+        self.__init__(self.n)
+
+
+class _State:
+    """Raw propagation outcome: the lane's five parallel per-AS-index
+    arrays plus per-seed adoption counts (maintained during the
+    sweeps, so capture fractions never need an O(n) scan)."""
+
+    __slots__ = ("seed_list", "adopted", "slot", "parent", "plen", "klass",
+                 "counts")
+
+    def __init__(self, seed_list: list[Seed], lane: _Lane,
+                 counts: list[int]) -> None:
         self.seed_list = seed_list
-        self.adopted = adopted
-        self.slot = slot
-        self.parent = parent
-        self.plen = plen
-        self.klass = klass
+        self.adopted = lane.adopted
+        self.slot = lane.slot
+        self.parent = lane.parent
+        self.plen = lane.plen
+        self.klass = lane.klass
         self.counts = counts
+
+
+@dataclass(frozen=True)
+class _Profile:
+    """Cached outcome of one single-seed propagation.
+
+    ``counts_seq`` is the tie-break candidate count of every adoption,
+    in draw order — the complete description of the propagation's RNG
+    consumption, replayed by :func:`_replay_draws`.  Stored as
+    ``bytes`` when every count fits (the overwhelmingly common case;
+    candidate counts are bounded by node degree), which keeps a
+    CAIDA-scale profile at one byte per adoption.
+    """
+
+    adopted: bytes
+    total: int
+    counts_seq: Union[bytes, tuple[int, ...]]
+
+    @staticmethod
+    def pack_counts(counts: Sequence[int]) -> Union[bytes, tuple[int, ...]]:
+        if all(count < 256 for count in counts):
+            return bytes(counts)
+        return tuple(counts)
+
+
+def _replay_draws(
+    counts_seq: Sequence[int], rng: Optional[random.Random]
+) -> None:
+    """Consume exactly the random stream of a recorded propagation."""
+    if rng is None:
+        return
+    if _FAST_RANDBELOW and type(rng) is random.Random:
+        getrandbits = rng.getrandbits
+        for count in counts_seq:
+            if count == 1:
+                while getrandbits(1):
+                    pass
+            else:
+                bits = count.bit_length()
+                draw = getrandbits(bits)
+                while draw >= count:
+                    draw = getrandbits(bits)
+    else:
+        choice = rng.choice
+        for count in counts_seq:
+            choice(range(count))
 
 
 def _compiled_of(
@@ -124,6 +232,84 @@ def _compiled_of(
     return topology
 
 
+class PropagationWorkspace:
+    """Reusable per-worker state for array-engine trial evaluation.
+
+    Allocate one per (worker, topology) and pass it to
+    :func:`evaluate_attack_seeds_array` /
+    :func:`evaluate_attack_seeds_array_batch`: the per-AS state arrays
+    are allocated once and reset in O(touched) between propagations,
+    the validation bitmask is computed once per validator set instead
+    of once per propagation, and single-seed propagations repeated
+    under the same validator set are served from the profile cache
+    (see the module docstring).  Results are byte-identical to the
+    workspace-free path — including RNG consumption — which the test
+    suite pins.
+
+    Not thread-safe; share nothing across threads or processes.
+    """
+
+    def __init__(
+        self, topology: Union[AsTopology, CompiledTopology]
+    ) -> None:
+        self.compiled = _compiled_of(topology)
+        self._lanes: list[_Lane] = []
+        self._profiles: dict[tuple, _Profile] = {}
+        self._validators_token: object = self  # sentinel: no epoch yet
+        self._mask: Optional[bytearray] = None
+        self._universal_mask: Optional[bytearray] = None
+
+    def lane(self, index: int = 0) -> _Lane:
+        while len(self._lanes) <= index:
+            self._lanes.append(_Lane(len(self.compiled)))
+        return self._lanes[index]
+
+    def begin(self, validating_ases: Optional[frozenset[int]]) -> None:
+        """Open a validator epoch (one per trial, shared by its cells).
+
+        Epochs are tracked by object identity — a trial passes the
+        same ``validating_ases`` object to every cell — so the check
+        is O(1).  A new epoch drops the cached mask and the profile
+        cache, whose invalid-seed entries depend on the mask.
+        """
+        if validating_ases is not self._validators_token:
+            self._validators_token = validating_ases
+            self._mask = None
+            self._profiles.clear()
+
+    def mask(self) -> bytearray:
+        """The current epoch's validation bitmask, computed lazily."""
+        if self._validators_token is self:
+            raise ReproError("workspace epoch not opened; call begin()")
+        if self._mask is None:
+            validators = self._validators_token
+            if validators is None:
+                if self._universal_mask is None:
+                    self._universal_mask = bytearray(
+                        b"\x01" * len(self.compiled)
+                    )
+                self._mask = self._universal_mask
+            else:
+                self._mask = self.compiled.validation_mask(validators)
+        return self._mask
+
+    def profile(self, key: tuple) -> Optional[_Profile]:
+        profile = self._profiles.get(key)
+        if profile is not None:
+            # Refresh recency (dict order is insertion order), so the
+            # cap evicts the least recently used profile — never a hot
+            # one like the trial's victim-cover profile.
+            del self._profiles[key]
+            self._profiles[key] = profile
+        return profile
+
+    def store_profile(self, key: tuple, profile: _Profile) -> None:
+        profiles = self._profiles
+        if len(profiles) >= _PROFILE_CAP:
+            del profiles[next(iter(profiles))]
+        profiles[key] = profile
+
+
 def _propagate(
     compiled: CompiledTopology,
     prefix: Prefix,
@@ -131,8 +317,21 @@ def _propagate(
     vrp_index: Optional[VrpIndex],
     validating_ases: Optional[frozenset[int]],
     rng: Optional[random.Random],
-) -> _State:
-    """The three Gao–Rexford phases as array sweeps."""
+    *,
+    lane: Optional[_Lane] = None,
+    mask: Optional[bytearray] = None,
+    invalid: Optional[list[bool]] = None,
+    capture: Optional[list[int]] = None,
+) -> tuple[_State, _Lane]:
+    """The three Gao–Rexford phases as array sweeps.
+
+    ``lane`` supplies reusable arrays (fresh ones are allocated when
+    absent); it must satisfy the clean-lane invariant on entry and is
+    returned dirty — the caller resets it.  ``mask``/``invalid`` let a
+    workspace pass precomputed validation state; ``capture`` records
+    the tie-break candidate count of every adoption, in draw order,
+    for single-seed profile replay.
+    """
     n = len(compiled)
     index_of = compiled.index_of
 
@@ -147,15 +346,17 @@ def _propagate(
     # One validation verdict per seed: every propagated copy claims the
     # seed's origin, so the object engine's per-offer radix walk is a
     # constant here.
-    mask = None
-    invalid = [False] * len(seed_list)
-    if vrp_index is not None:
+    if invalid is None:
+        invalid = [False] * len(seed_list)
+        if vrp_index is not None:
+            for k, seed in enumerate(seed_list):
+                invalid[k] = (
+                    vrp_index.validate(prefix, seed.path[-1])
+                    is ValidationState.INVALID
+                )
+    if vrp_index is not None and mask is None and any(invalid):
         mask = compiled.validation_mask(validating_ases)
-        for k, seed in enumerate(seed_list):
-            invalid[k] = (
-                vrp_index.validate(prefix, seed.path[-1])
-                is ValidationState.INVALID
-            )
+    validation_on = vrp_index is not None
 
     # Per-seed offer block mask: never offer a route to an AS on its
     # seed's initial path (loop prevention — every later hop is an
@@ -163,7 +364,7 @@ def _propagate(
     # invalid seed — to a validating AS.
     blocked: list[bytearray] = []
     for k, seed in enumerate(seed_list):
-        blk = bytearray(mask) if (mask is not None and invalid[k]) else (
+        blk = bytearray(mask) if (validation_on and invalid[k]) else (
             bytearray(n)
         )
         for asn in seed.path:
@@ -172,11 +373,16 @@ def _propagate(
                 blk[i] = 1
         blocked.append(blk)
 
-    adopted = bytearray(n)
-    slot = [0] * n
-    parent = [-1] * n
-    plen = [0] * n
-    klass = bytearray(n)
+    if lane is None:
+        lane = _Lane(n)
+    adopted = lane.adopted
+    slot = lane.slot
+    parent = lane.parent
+    plen = lane.plen
+    klass = lane.klass
+    offer_srcs = lane.offer_srcs
+    offer_len = lane.offer_len
+    touched = lane.touched
     counts = [0] * len(seed_list)
 
     # Inline the tie-break draw when the RNG is a plain Random (the
@@ -191,7 +397,7 @@ def _propagate(
     origins: list[int] = []
     for k, seed in enumerate(seed_list):
         i = index_of[seed.asn]
-        if mask is not None and invalid[k] and mask[i]:
+        if validation_on and invalid[k] and mask[i]:
             continue
         adopted[i] = 1
         slot[i] = k
@@ -199,6 +405,7 @@ def _propagate(
         klass[i] = _ORIGIN
         counts[k] += 1
         origins.append(i)
+        touched.append(i)
 
     def sweep(
         exporters: list[int],
@@ -207,11 +414,16 @@ def _propagate(
     ) -> None:
         """Adopt along ``rows`` edges in path-length order, chaining.
 
-        The offer bodies are inlined (sparse rows make a function call
-        per offer the dominant cost), and chained offers all land in
-        the single length+1 bucket, hoisted out of the adoption loop.
+        Offers are kept in per-target source lists indexed by the lane
+        arrays (``offer_srcs``/``offer_len``) instead of per-length
+        dicts; each bucket is just the list of targets first offered
+        at that length.  An offer strictly longer than one the target
+        already holds is discarded immediately — in the object engine
+        it would sit in a later bucket and lose to the earlier
+        adoption anyway, without consuming randomness — so the live
+        candidate lists are exactly the object engine's.
         """
-        buckets: dict[int, dict[int, list[int]]] = {}
+        buckets: dict[int, list[int]] = {}
         for i in exporters:
             row = rows[i]
             if not row:
@@ -220,25 +432,34 @@ def _propagate(
             blk = blocked[slot[i]]
             bucket = buckets.get(length)
             if bucket is None:
-                bucket = buckets[length] = {}
+                bucket = buckets[length] = []
             for t in row:
                 if adopted[t] or blk[t]:
                     continue
-                lst = bucket.get(t)
-                if lst is None:
-                    bucket[t] = [i]
-                else:
-                    lst.append(i)
+                srcs = offer_srcs[t]
+                if srcs is None:
+                    offer_srcs[t] = [i]
+                    offer_len[t] = length
+                    bucket.append(t)
+                elif offer_len[t] == length:
+                    srcs.append(i)
+                elif length < offer_len[t]:
+                    offer_srcs[t] = [i]
+                    offer_len[t] = length
+                    bucket.append(t)
         while buckets:
             length = min(buckets)
             batch = buckets.pop(length)
             next_length = length + 1
             next_bucket = buckets.get(next_length)
-            for t in sorted(batch):
+            batch.sort()
+            for t in batch:
                 if adopted[t]:
                     continue
-                srcs = batch[t]
+                srcs = offer_srcs[t]
                 count = len(srcs)
+                if capture is not None:
+                    capture.append(count)
                 if count == 1:
                     chosen = srcs[0]
                     if getrandbits is not None:
@@ -262,31 +483,40 @@ def _propagate(
                 plen[t] = length
                 klass[t] = route_class
                 counts[k] += 1
+                touched.append(t)
                 row = rows[t]
                 if row:
                     blk = blocked[k]
                     if next_bucket is None:
-                        next_bucket = buckets[next_length] = {}
+                        next_bucket = buckets[next_length] = []
                     for u in row:
                         if adopted[u] or blk[u]:
                             continue
-                        lst = next_bucket.get(u)
-                        if lst is None:
-                            next_bucket[u] = [t]
-                        else:
-                            lst.append(t)
+                        srcs = offer_srcs[u]
+                        if srcs is None:
+                            offer_srcs[u] = [t]
+                            offer_len[u] = next_length
+                            next_bucket.append(u)
+                        elif offer_len[u] == next_length:
+                            srcs.append(t)
+                        elif next_length < offer_len[u]:
+                            offer_srcs[u] = [t]
+                            offer_len[u] = next_length
+                            next_bucket.append(u)
 
     # Phase 1 — customer routes climb provider edges.
     sweep(origins, compiled.provider_rows, _CUSTOMER)
 
     # Phase 2 — customer/origin routes cross one peering edge; no
     # chaining, so collect every offer first, then settle each AS by
-    # shortest-then-tie-break in ascending target order.
+    # shortest-then-tie-break in ascending target order.  Exporters
+    # come from the touched list (everything adopted so far is ORIGIN
+    # or CUSTOMER here) instead of an O(n) scan; offer order cannot
+    # matter because the minimum-length candidates are sorted before
+    # drawing.
     peer_rows = compiled.peer_rows
-    peer_offers: dict[int, list[tuple[int, int]]] = {}
-    for i in range(n):
-        if not adopted[i]:
-            continue
+    peer_targets: list[int] = []
+    for i in list(touched):
         k = klass[i]
         if k != _ORIGIN and k != _CUSTOMER:
             continue
@@ -298,31 +528,37 @@ def _propagate(
         for t in row:
             if adopted[t] or blk[t]:
                 continue
-            lst = peer_offers.get(t)
-            if lst is None:
-                peer_offers[t] = [(length, i)]
-            else:
-                lst.append((length, i))
-    for t, options in sorted(peer_offers.items()):
-        best = min(options)[0]
-        srcs = [i for length, i in options if length == best]
+            srcs = offer_srcs[t]
+            if srcs is None:
+                offer_srcs[t] = [i]
+                offer_len[t] = length
+                peer_targets.append(t)
+            elif offer_len[t] == length:
+                srcs.append(i)
+            elif length < offer_len[t]:
+                offer_srcs[t] = [i]
+                offer_len[t] = length
+    peer_targets.sort()
+    for t in peer_targets:
+        srcs = offer_srcs[t]
+        if capture is not None:
+            capture.append(len(srcs))
         chosen = _choose(srcs, rng)
         adopted[t] = 1
         k = slot[chosen]
         slot[t] = k
         parent[t] = chosen
-        plen[t] = best
+        plen[t] = offer_len[t]
         klass[t] = _PEER
         counts[k] += 1
+        touched.append(t)
 
-    # Phase 3 — every adopted route descends customer edges.
-    sweep(
-        [i for i in range(n) if adopted[i]],
-        compiled.customer_rows,
-        _PROVIDER,
-    )
+    # Phase 3 — every adopted route descends customer edges.  The
+    # touched list *is* the adopted set (in adoption order; exporter
+    # order is immaterial for the same sorted-candidates reason).
+    sweep(list(touched), compiled.customer_rows, _PROVIDER)
 
-    return _State(seed_list, adopted, slot, parent, plen, klass, counts)
+    return _State(seed_list, lane, counts), lane
 
 
 def _materialize(compiled: CompiledTopology, state: _State) -> dict[int, Route]:
@@ -383,12 +619,124 @@ def propagate_prefix_array(
     use) or a pre-built :class:`CompiledTopology`; returns the same
     ASN→:class:`Route` mapping, bit-for-bit, including the seeded
     tie-break stream.
+
+    This entry point always runs the full sweep: materialized routes
+    need parent chains, which are tie-break-dependent, so the
+    workspace profile cache cannot serve them.
     """
     compiled = _compiled_of(topology)
-    state = _propagate(
+    state, _lane = _propagate(
         compiled, prefix, list(seeds), vrp_index, validating_ases, rng
     )
     return _materialize(compiled, state)
+
+
+# ----------------------------------------------------------------------
+# Attack evaluation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttackCase:
+    """One attack measurement for the batched array entry point.
+
+    Mirrors the arguments of :func:`evaluate_attack_seeds_array`; a
+    grid trial builds one case per cell and submits them together so
+    the workspace amortizes seed/validation setup across the batch.
+    """
+
+    victim: int
+    victim_prefix: Prefix
+    attack_prefix: Prefix
+    attacker_seeds: tuple[Seed, ...]
+    vrp_index: Optional[VrpIndex] = None
+    validating_ases: Optional[frozenset[int]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "attacker_seeds", tuple(self.attacker_seeds)
+        )
+
+
+@contextlib.contextmanager
+def _lane_propagation(
+    compiled: CompiledTopology,
+    prefix: Prefix,
+    seed_list: list[Seed],
+    vrp_index: Optional[VrpIndex],
+    validating_ases: Optional[frozenset[int]],
+    rng: Optional[random.Random],
+    workspace: Optional[PropagationWorkspace],
+    *,
+    mask: Optional[bytearray] = None,
+    invalid: Optional[list[bool]] = None,
+    capture: Optional[list[int]] = None,
+):
+    """The lane lifecycle protocol, shared by every sweep call site:
+    acquire a workspace lane (or a fresh one), propagate, yield the
+    raw state for the caller to read, then restore the clean-lane
+    invariant — O(touched) on success, a full reinitialization when
+    the sweep died partway and the bookkeeping cannot be trusted."""
+    lane = workspace.lane(0) if workspace is not None else None
+    try:
+        state, used_lane = _propagate(
+            compiled, prefix, seed_list, vrp_index, validating_ases,
+            rng, lane=lane, mask=mask, invalid=invalid, capture=capture,
+        )
+    except BaseException:
+        if lane is not None:
+            lane.hard_reset()
+        raise
+    try:
+        yield state
+    finally:
+        used_lane.reset()
+
+
+def _single_seed_outcome(
+    compiled: CompiledTopology,
+    prefix: Prefix,
+    seed: Seed,
+    vrp_index: Optional[VrpIndex],
+    validating_ases: Optional[frozenset[int]],
+    rng: Optional[random.Random],
+    workspace: Optional[PropagationWorkspace],
+) -> tuple[Union[bytes, bytearray], int]:
+    """(adopted flags, total adoptions) of a single-seed propagation.
+
+    With a workspace, served from the profile cache when this (seed,
+    verdict) was already propagated under the current validator epoch
+    — replaying the recorded candidate counts so the RNG advances
+    exactly as a real sweep would.  Cache misses run the sweep on a
+    workspace lane, record the profile, and release the lane.
+    """
+    if workspace is None:
+        state, _lane = _propagate(
+            compiled, prefix, [seed], vrp_index, validating_ases, rng
+        )
+        return state.adopted, state.counts[0]
+
+    invalid = vrp_index is not None and (
+        vrp_index.validate(prefix, seed.path[-1]) is ValidationState.INVALID
+    )
+    key = (seed.asn, seed.path, invalid)
+    profile = workspace.profile(key)
+    if profile is not None:
+        _replay_draws(profile.counts_seq, rng)
+        return profile.adopted, profile.total
+
+    mask = workspace.mask() if invalid else None
+    capture: list[int] = []
+    with _lane_propagation(
+        compiled, prefix, [seed], vrp_index, validating_ases, rng,
+        workspace, mask=mask, invalid=[invalid], capture=capture,
+    ) as state:
+        profile = _Profile(
+            bytes(state.adopted), state.counts[0],
+            _Profile.pack_counts(capture),
+        )
+    workspace.store_profile(key, profile)
+    return profile.adopted, profile.total
 
 
 def evaluate_attack_seeds_array(
@@ -401,15 +749,27 @@ def evaluate_attack_seeds_array(
     vrp_index: Optional[VrpIndex] = None,
     validating_ases: Optional[frozenset[int]] = None,
     rng: Optional[random.Random] = None,
+    workspace: Optional[PropagationWorkspace] = None,
 ) -> tuple[tuple[float, float, float], bool]:
     """Array-engine core of
     :func:`repro.bgp.attacks.evaluate_attack_seeds`.
 
     Same measurement, same return value, same RNG consumption — but the
     capture fractions are counted straight off the raw adoption arrays,
-    so no path tuple or :class:`Route` is ever materialized.
+    so no path tuple or :class:`Route` is ever materialized.  Pass a
+    :class:`PropagationWorkspace` (one per worker) to reuse state
+    arrays and propagation profiles across calls; results are
+    byte-identical either way.
     """
-    compiled = _compiled_of(topology)
+    if workspace is not None:
+        compiled = workspace.compiled
+        if compiled is not _compiled_of(topology):
+            raise ReproError(
+                "workspace was built for a different topology"
+            )
+        workspace.begin(validating_ases)
+    else:
+        compiled = _compiled_of(topology)
     n = len(compiled)
     index_of = compiled.index_of
 
@@ -427,17 +787,27 @@ def evaluate_attack_seeds_array(
     is_subprefix = attack_prefix != victim_prefix
 
     if is_subprefix:
-        cover = _propagate(
-            compiled, victim_prefix, [victim_seed],
-            vrp_index, validating_ases, rng,
+        cover_adopted, cover_total = _single_seed_outcome(
+            compiled, victim_prefix, victim_seed,
+            vrp_index, validating_ases, rng, workspace,
         )
-        attack = _propagate(
-            compiled, attack_prefix, list(attacker_seeds),
-            vrp_index, validating_ases, rng,
-        )
-        attack_adopted = attack.adopted
-        cover_adopted = cover.adopted
-        attack_total = sum(attack.counts)
+        if len(attacker_seeds) == 1:
+            attack_adopted, attack_total = _single_seed_outcome(
+                compiled, attack_prefix, attacker_seeds[0],
+                vrp_index, validating_ases, rng, workspace,
+            )
+        else:
+            # The cover outcome above is immutable profile bytes, so
+            # the multi-attacker sweep can reuse lane 0.
+            mask = None
+            if workspace is not None and vrp_index is not None:
+                mask = workspace.mask()
+            with _lane_propagation(
+                compiled, attack_prefix, list(attacker_seeds),
+                vrp_index, validating_ases, rng, workspace, mask=mask,
+            ) as attack_state:
+                attack_adopted = bytes(attack_state.adopted)
+                attack_total = sum(attack_state.counts)
         filtered = attack_total == 0
         # Longest-prefix match: an attack-prefix route wins wherever
         # one was adopted; the covering route serves the rest.  The
@@ -454,19 +824,22 @@ def evaluate_attack_seeds_array(
             elif cover_adopted[i]:
                 victim_count -= 1
     else:
-        combined = _propagate(
+        mask = None
+        if workspace is not None and vrp_index is not None:
+            mask = workspace.mask()
+        with _lane_propagation(
             compiled, victim_prefix, [victim_seed, *attacker_seeds],
-            vrp_index, validating_ases, rng,
-        )
-        adopted, slot = combined.adopted, combined.slot
-        victim_count = combined.counts[0]
-        attacker_count = sum(combined.counts) - victim_count
-        for i in cast:
-            if adopted[i]:
-                if slot[i] == 0:
-                    victim_count -= 1
-                else:
-                    attacker_count -= 1
+            vrp_index, validating_ases, rng, workspace, mask=mask,
+        ) as combined:
+            adopted, slot = combined.adopted, combined.slot
+            victim_count = combined.counts[0]
+            attacker_count = sum(combined.counts) - victim_count
+            for i in cast:
+                if adopted[i]:
+                    if slot[i] == 0:
+                        victim_count -= 1
+                    else:
+                        attacker_count -= 1
         if vrp_index is None:
             filtered = False
         else:
@@ -488,3 +861,35 @@ def evaluate_attack_seeds_array(
         ),
         filtered,
     )
+
+
+def evaluate_attack_seeds_array_batch(
+    topology: Union[AsTopology, CompiledTopology],
+    cases: Sequence[AttackCase],
+    *,
+    rng: Optional[random.Random] = None,
+    workspace: Optional[PropagationWorkspace] = None,
+) -> list[tuple[tuple[float, float, float], bool]]:
+    """Evaluate a batch of attack cases with one shared workspace.
+
+    The batched entry point for grid trials: one call per trial, one
+    case per cell, all sharing ``rng`` (the trial's tie-break stream,
+    consumed case by case in order — exactly as per-call evaluation
+    would).  The workspace amortizes the validation bitmask and the
+    single-seed propagation profiles across the batch; a missing
+    workspace gets a transient one, which still amortizes within the
+    batch.
+    """
+    if workspace is None:
+        workspace = PropagationWorkspace(topology)
+    return [
+        evaluate_attack_seeds_array(
+            topology, case.victim, case.victim_prefix, case.attack_prefix,
+            case.attacker_seeds,
+            vrp_index=case.vrp_index,
+            validating_ases=case.validating_ases,
+            rng=rng,
+            workspace=workspace,
+        )
+        for case in cases
+    ]

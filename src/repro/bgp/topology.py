@@ -10,8 +10,10 @@ the neighbor views the propagation simulator needs.
 from __future__ import annotations
 
 import enum
+import struct
+import sys
 from array import array
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
 
 from ..netbase.errors import ReproError
 
@@ -190,17 +192,62 @@ class AsTopology:
         return topology
 
 
+#: Blob header: magic, then the element counts of the seven int64
+#: buffers (asns + three CSR (indptr, indices) pairs).  The whole
+#: blob — header and payload — is little-endian; big-endian hosts
+#: byteswap on the way in and out (losing zero-copy, keeping
+#: cross-architecture pickles correct).
+_BLOB_MAGIC = b"RPROCT1\x00"
+_BLOB_HEADER = struct.Struct("<8s7Q")
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Anything the int64 buffer views can be built from.
+_IntBuffer = Union[array, memoryview]
+
+
+def _as_int64(values: Iterable[int]) -> array:
+    return array("q", values)
+
+
+def _buffer_bytes(buf: _IntBuffer) -> bytes:
+    """Native int64 buffer → little-endian payload bytes."""
+    if _LITTLE_ENDIAN:
+        return buf.tobytes() if isinstance(buf, array) else bytes(buf)
+    swapped = array("q", buf)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def _payload_view(payload: memoryview) -> _IntBuffer:
+    """Little-endian payload bytes → native int64 buffer (a zero-copy
+    cast on little-endian hosts, a byteswapped copy elsewhere)."""
+    if _LITTLE_ENDIAN:
+        return payload.cast("q")
+    native = array("q")
+    native.frombytes(bytes(payload))
+    native.byteswap()
+    return native
+
+
 class CompiledTopology:
-    """An :class:`AsTopology` frozen into flat integer arrays.
+    """An :class:`AsTopology` frozen into flat integer buffers.
 
     ASes get dense indices 0..n-1 in ascending ASN order, so index
     order and ASN order agree — the property that lets the array
     propagation engine reproduce the object engine's sorted tie-breaks
     by comparing indices alone.  Each of the three neighbor relations
-    is stored CSR-style: one flat ``indices`` array of neighbor
-    indices (each row ascending) plus an ``indptr`` offset array, with
+    is stored CSR-style: one flat ``indices`` buffer of neighbor
+    indices (each row ascending) plus an ``indptr`` offset buffer, with
     per-row tuples derived once so the hot loops iterate rows without
     slicing.
+
+    The seven backing buffers are flat int64 sequences —
+    :class:`array.array` when compiled in-process, zero-copy
+    :class:`memoryview` casts when attached to a pickled blob or a
+    :mod:`multiprocessing.shared_memory` segment via
+    :meth:`from_blob`.  Pickling goes through :meth:`to_blob`, so a
+    compiled topology crosses process boundaries as one flat byte
+    string instead of an object graph.
 
     Instances are immutable snapshots; get one via
     :meth:`AsTopology.compiled`, which caches until the next mutation.
@@ -223,11 +270,13 @@ class CompiledTopology:
 
     def __init__(
         self,
-        asns: tuple[int, ...],
-        provider_csr: tuple[array, array],
-        customer_csr: tuple[array, array],
-        peer_csr: tuple[array, array],
+        asns: Union[tuple[int, ...], _IntBuffer],
+        provider_csr: tuple[_IntBuffer, _IntBuffer],
+        customer_csr: tuple[_IntBuffer, _IntBuffer],
+        peer_csr: tuple[_IntBuffer, _IntBuffer],
     ) -> None:
+        if isinstance(asns, tuple):
+            asns = _as_int64(asns)
         self.asns = asns
         self.as_set = frozenset(asns)
         self.index_of = {asn: i for i, asn in enumerate(asns)}
@@ -240,7 +289,7 @@ class CompiledTopology:
 
     @staticmethod
     def _rows(
-        indptr: array, indices: array
+        indptr: _IntBuffer, indices: _IntBuffer
     ) -> tuple[tuple[int, ...], ...]:
         return tuple(
             tuple(indices[indptr[i]:indptr[i + 1]])
@@ -254,8 +303,8 @@ class CompiledTopology:
         index_of = {asn: i for i, asn in enumerate(asns)}
 
         def csr(neighbor_sets: dict[int, set[int]]) -> tuple[array, array]:
-            indptr = array("l", [0])
-            indices = array("l")
+            indptr = array("q", [0])
+            indices = array("q")
             for asn in asns:
                 for neighbor in sorted(neighbor_sets.get(asn, ())):
                     indices.append(index_of[neighbor])
@@ -268,6 +317,88 @@ class CompiledTopology:
             csr(topology._customers),
             csr(topology._peers),
         )
+
+    # ------------------------------------------------------------------
+    # The flat-blob form (pickling, shared memory)
+    # ------------------------------------------------------------------
+
+    def to_blob(self) -> bytes:
+        """Serialize to one flat byte string: header + int64 buffers.
+
+        The layout is what :meth:`from_blob` attaches to zero-copy; it
+        is also the pickle payload (see :meth:`__reduce__`), so a
+        compiled topology ships between processes as a single buffer
+        copy with no per-object pickling.
+        """
+        buffers = (
+            self.asns,
+            self.provider_indptr, self.provider_indices,
+            self.customer_indptr, self.customer_indices,
+            self.peer_indptr, self.peer_indices,
+        )
+        header = _BLOB_HEADER.pack(
+            _BLOB_MAGIC, *(len(buf) for buf in buffers)
+        )
+        return header + b"".join(_buffer_bytes(buf) for buf in buffers)
+
+    @classmethod
+    def from_blob(
+        cls, blob: Union[bytes, bytearray, memoryview]
+    ) -> "CompiledTopology":
+        """Attach to a :meth:`to_blob` payload without copying it.
+
+        The seven buffers become ``memoryview`` casts into ``blob``;
+        only the derived lookup structures (index map, row tuples) are
+        built per attach.  Trailing bytes beyond the recorded lengths
+        are ignored, so a page-rounded shared-memory segment attaches
+        as-is.
+        """
+        view = memoryview(blob)
+        if len(view) < _BLOB_HEADER.size:
+            raise TopologyError("compiled-topology blob too short")
+        magic, *counts = _BLOB_HEADER.unpack_from(view, 0)
+        if magic != _BLOB_MAGIC:
+            raise TopologyError("not a compiled-topology blob")
+        offset = _BLOB_HEADER.size
+        buffers: list[_IntBuffer] = []
+        for count in counts:
+            end = offset + 8 * count
+            if end > len(view):
+                raise TopologyError("truncated compiled-topology blob")
+            buffers.append(_payload_view(view[offset:end]))
+            offset = end
+        return cls(
+            buffers[0],
+            (buffers[1], buffers[2]),
+            (buffers[3], buffers[4]),
+            (buffers[5], buffers[6]),
+        )
+
+    def __reduce__(self):
+        return (CompiledTopology.from_blob, (self.to_blob(),))
+
+    def to_topology(self) -> AsTopology:
+        """Rebuild the mutable object form (for the object engine).
+
+        Workers receive only the compiled blob; the ones running the
+        object propagation engine reconstruct an equivalent
+        :class:`AsTopology` from it — same ASes, same relationships —
+        instead of shipping the object graph through the pickle path.
+        """
+        topology = AsTopology()
+        asns = self.asns
+        for asn in asns:
+            topology.add_as(asn)
+        for i, row in enumerate(self.customer_rows):
+            provider = asns[i]
+            for j in row:
+                topology.add_customer_provider(asns[j], provider)
+        for i, row in enumerate(self.peer_rows):
+            left = asns[i]
+            for j in row:
+                if i < j:
+                    topology.add_peering(left, asns[j])
+        return topology
 
     def __len__(self) -> int:
         return len(self.asns)

@@ -170,6 +170,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--workers", type=int,
                             help="process-executor pool size")
+    experiment.add_argument(
+        "--stopping", choices=("none", "ci"),
+        help="adaptive early stopping: stop a fraction once every "
+             "cell's bootstrap CI is narrower than --stop-ci-width "
+             "(default none; overrides the spec file's setting)",
+    )
+    experiment.add_argument("--stop-ci-width", type=float,
+                            help="CI-width threshold (default 0.05; "
+                                 "implies --stopping ci)")
+    experiment.add_argument("--stop-min-trials", type=int,
+                            help="trials before the first stopping check "
+                                 "(default 16; implies --stopping ci)")
+    experiment.add_argument("--stop-check-every", type=int,
+                            help="trials between stopping checks "
+                                 "(default 8; implies --stopping ci)")
     experiment.add_argument("--emit-spec", action="store_true",
                             help="print the spec as JSON and exit")
     experiment.add_argument("--json", action="store_true",
@@ -357,14 +372,31 @@ def _experiment_spec_from_args(args: argparse.Namespace):
         policy_from_name,
     )
 
+    # A threshold/cadence flag without --stopping means the user wants
+    # stopping: imply "ci" rather than silently ignoring the flag.
+    if args.stopping is None and any(
+        getattr(args, name) is not None
+        for name in ("stop_ci_width", "stop_min_trials",
+                     "stop_check_every")
+    ):
+        args.stopping = "ci"
+
     if args.spec:
         spec = ExperimentSpec.from_json(
             Path(args.spec).read_text(encoding="utf-8")
         )
+        overrides = {}
         if args.engine and args.engine != spec.engine:
+            overrides["engine"] = args.engine
+        for name in ("stopping", "stop_ci_width", "stop_min_trials",
+                     "stop_check_every"):
+            value = getattr(args, name)
+            if value is not None and value != getattr(spec, name):
+                overrides[name] = value
+        if overrides:
             import dataclasses
 
-            spec = dataclasses.replace(spec, engine=args.engine)
+            spec = dataclasses.replace(spec, **overrides)
         return spec
     attacks = [
         AttackConfig(kind.strip(), attackers=args.attackers,
@@ -387,6 +419,12 @@ def _experiment_spec_from_args(args: argparse.Namespace):
     )
     from .netbase import Prefix
 
+    stop_kwargs = {
+        name: value
+        for name in ("stopping", "stop_ci_width", "stop_min_trials",
+                     "stop_check_every")
+        if (value := getattr(args, name)) is not None
+    }
     return ExperimentSpec.grid(
         attacks, policies,
         trials=args.trials,
@@ -398,6 +436,7 @@ def _experiment_spec_from_args(args: argparse.Namespace):
             Prefix.parse(args.attack_prefix) if args.attack_prefix else None
         ),
         engine=args.engine or "object",
+        **stop_kwargs,
     )
 
 
@@ -454,10 +493,12 @@ def _result_to_json(result) -> dict:
     return {
         "fractions": list(result.fractions),
         "trials_per_cell": result.trials_per_cell,
+        "trial_counts": list(result.trial_counts),
         "cells": [
             {
                 "cell": stats.cell,
                 "fraction": stats.fraction,
+                "trials": stats.trials,
                 "mean": stats.mean,
                 "stdev": stats.stdev,
                 "ci_low": stats.ci_low,

@@ -36,8 +36,13 @@ The layers, bottom to top:
   confidence intervals per grid cell.
 """
 
-from .aggregate import CellStats, ExperimentResult, aggregate_records
-from .evaluate import TrialRecord, evaluate_trial
+from .aggregate import (
+    CellStats,
+    ExperimentResult,
+    aggregate_records,
+    prefix_ci_width,
+)
+from .evaluate import TrialRecord, evaluate_trial, evaluate_trials
 from .runner import EXECUTORS, ExperimentRunner
 from .scenarios import (
     AnyAsPairSampler,
@@ -58,6 +63,7 @@ from .spec import (
     ExperimentSpec,
     TrialSpec,
     derive_trial_seed,
+    iter_trials,
     materialize_trials,
 )
 
@@ -84,6 +90,9 @@ __all__ = [
     "aggregate_records",
     "derive_trial_seed",
     "evaluate_trial",
+    "evaluate_trials",
+    "iter_trials",
     "materialize_trials",
     "policy_from_name",
+    "prefix_ci_width",
 ]

@@ -15,13 +15,18 @@ import hashlib
 import random
 import statistics
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..netbase.errors import ReproError
 from .evaluate import TrialRecord
 from .spec import ExperimentSpec
 
-__all__ = ["CellStats", "ExperimentResult", "aggregate_records"]
+__all__ = [
+    "CellStats",
+    "ExperimentResult",
+    "aggregate_records",
+    "prefix_ci_width",
+]
 
 
 def _bootstrap_seed(seed: int, fraction_index: int, cell_index: int) -> int:
@@ -29,6 +34,44 @@ def _bootstrap_seed(seed: int, fraction_index: int, cell_index: int) -> int:
     return int.from_bytes(
         hashlib.blake2b(key.encode(), digest_size=8).digest(), "big"
     )
+
+
+def _stop_seed(
+    seed: int, fraction_index: int, cell_index: int, prefix: int
+) -> int:
+    key = (
+        f"repro.exper.stop/{seed}/{fraction_index}/{cell_index}/{prefix}"
+    )
+    return int.from_bytes(
+        hashlib.blake2b(key.encode(), digest_size=8).digest(), "big"
+    )
+
+
+def prefix_ci_width(
+    values: Sequence[float],
+    seed: int,
+    fraction_index: int,
+    cell_index: int,
+    *,
+    resamples: int = 250,
+    confidence: float = 0.95,
+) -> float:
+    """Bootstrap CI width of the mean over a completed-trial prefix.
+
+    The early-stopping primitive: seeded by the grid coordinate *and*
+    the prefix length, so the answer is a pure function of the first
+    ``len(values)`` trial outcomes — identical no matter which
+    executor produced them or in what order they arrived.
+    """
+    low, high = _bootstrap_ci(
+        values,
+        random.Random(
+            _stop_seed(seed, fraction_index, cell_index, len(values))
+        ),
+        resamples,
+        confidence,
+    )
+    return high - low
 
 
 def _bootstrap_ci(
@@ -83,12 +126,26 @@ class CellStats:
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """The aggregated grid: ``stats[fraction_index][cell_index]``."""
+    """The aggregated grid: ``stats[fraction_index][cell_index]``.
+
+    ``trials_per_cell`` is the spec's configured trial count;
+    ``trial_counts`` holds the trials actually evaluated per fraction,
+    which early stopping may leave below the configured count.
+    """
 
     fractions: tuple[Optional[float], ...]
     cell_names: tuple[str, ...]
     stats: tuple[tuple[CellStats, ...], ...]
     trials_per_cell: int
+    trial_counts: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.trial_counts:
+            object.__setattr__(
+                self,
+                "trial_counts",
+                (self.trials_per_cell,) * len(self.fractions),
+            )
 
     def cell(
         self, cell: str, fraction: Optional[float] = None
@@ -133,11 +190,56 @@ class ExperimentResult:
                     f"{block:>{max(width, 22)}}" for block in blocks
                 )
             )
-        lines.append(
-            f"({self.trials_per_cell} trials per cell; "
-            f"mean capture [95% bootstrap CI of the mean])"
-        )
+        if any(
+            count != self.trials_per_cell for count in self.trial_counts
+        ):
+            counts = ", ".join(
+                f"{'all' if f is None else f'{100 * f:.0f}%'}: {count}"
+                for f, count in zip(self.fractions, self.trial_counts)
+            )
+            lines.append(
+                f"(early-stopped; trials per fraction — {counts}; "
+                f"cap {self.trials_per_cell}; "
+                f"mean capture [95% bootstrap CI of the mean])"
+            )
+        else:
+            lines.append(
+                f"({self.trials_per_cell} trials per cell; "
+                f"mean capture [95% bootstrap CI of the mean])"
+            )
         return "\n".join(lines)
+
+
+def _streamed_count(
+    spec: ExperimentSpec,
+    grid: dict[tuple[int, int], dict[int, TrialRecord]],
+    fraction_index: int,
+) -> int:
+    """A stopped fraction's trial count, recovered from its records:
+    the run of consecutively complete trials from zero."""
+    cells = range(len(spec.cells))
+    count = 0
+    while count < spec.trials and all(
+        count in grid.get((fraction_index, cell), ())
+        for cell in cells
+    ):
+        count += 1
+    for cell in cells:
+        stray = [
+            t for t in grid.get((fraction_index, cell), ())
+            if t >= count
+        ]
+        if stray:
+            raise ReproError(
+                f"cell {spec.cells[cell].name!r} at fraction index "
+                f"{fraction_index} has records past trial {count} "
+                f"with earlier trials missing"
+            )
+    if count == 0:
+        raise ReproError(
+            f"no complete trials for fraction index {fraction_index}"
+        )
+    return count
 
 
 def aggregate_records(
@@ -146,8 +248,24 @@ def aggregate_records(
     *,
     bootstrap_resamples: int = 1000,
     confidence: float = 0.95,
+    expected_trials: Optional[
+        Union[Sequence[int], Callable[[], Sequence[int]]]
+    ] = None,
 ) -> ExperimentResult:
-    """Reduce (possibly out-of-order) records to the stats grid."""
+    """Reduce (possibly out-of-order) records to the stats grid.
+
+    ``expected_trials`` gives the per-fraction trial counts the record
+    stream must contain — what early stopping decided — defaulting to
+    ``spec.trials`` everywhere for ``stopping="none"`` specs.  A
+    callable is resolved only after the stream is exhausted, so a
+    streaming runner can hand over its stop tracker's final counts.
+    When it is omitted for a ``stopping="ci"`` spec, the counts are
+    derived from the stream itself: each fraction's count is its run
+    of consecutively complete trials from zero (exactly what the
+    runner emits), and any record beyond that run is an error — so
+    ``aggregate_records(spec, runner.iter_records())`` works for every
+    spec.
+    """
     grid: dict[tuple[int, int], dict[int, TrialRecord]] = {}
     for record in records:
         coordinate = (record.fraction_index, record.cell_index)
@@ -159,17 +277,36 @@ def aggregate_records(
             )
         per_trial[record.trial_index] = record
 
+    if expected_trials is None:
+        if spec.stopping == "none":
+            counts = (spec.trials,) * len(spec.fractions)
+        else:
+            counts = tuple(
+                _streamed_count(spec, grid, fraction_index)
+                for fraction_index in range(len(spec.fractions))
+            )
+    elif callable(expected_trials):
+        counts = tuple(expected_trials())
+    else:
+        counts = tuple(expected_trials)
+    if len(counts) != len(spec.fractions):
+        raise ReproError(
+            f"expected_trials has {len(counts)} entries for "
+            f"{len(spec.fractions)} fractions"
+        )
+
     rows: list[tuple[CellStats, ...]] = []
     for fraction_index, fraction in enumerate(spec.fractions):
+        expected = counts[fraction_index]
         row: list[CellStats] = []
         for cell_index, cell in enumerate(spec.cells):
             per_trial = grid.get((fraction_index, cell_index), {})
-            if len(per_trial) != spec.trials:
+            if len(per_trial) != expected:
                 raise ReproError(
                     f"cell {cell.name!r} at fraction index {fraction_index} "
-                    f"has {len(per_trial)} of {spec.trials} trials"
+                    f"has {len(per_trial)} of {expected} trials"
                 )
-            ordered = [per_trial[t] for t in range(spec.trials)]
+            ordered = [per_trial[t] for t in range(expected)]
             values = tuple(r.attacker_fraction for r in ordered)
             mean = statistics.mean(values)
             stdev = statistics.stdev(values) if len(values) > 1 else 0.0
@@ -208,4 +345,5 @@ def aggregate_records(
         cell_names=tuple(cell.name for cell in spec.cells),
         stats=tuple(rows),
         trials_per_cell=spec.trials,
+        trial_counts=counts,
     )

@@ -1,55 +1,231 @@
 """The experiment runner: executors that turn specs into results.
 
-The driver materializes every trial (cheap, sequential, all the
-randomness), then an executor evaluates them (expensive, pure):
+The driver materializes trials (cheap, sequential, all the
+randomness) and an executor evaluates them (expensive, pure):
 
-* ``"serial"`` — a plain loop in this process.
-* ``"process"`` — a :mod:`multiprocessing` pool.  The topology and
-  spec are shipped to each worker exactly once via the pool
-  initializer; trials are batched so a task amortizes IPC over many
-  propagations, and results stream back as batches complete.
+* ``"serial"`` — a plain loop in this process, sharing one
+  :class:`~repro.bgp.fastprop.PropagationWorkspace` across trials.
+* ``"process"`` — a :mod:`multiprocessing` pool.  The topology ships
+  to the workers exactly once, as a *compiled* flat blob — through a
+  :mod:`multiprocessing.shared_memory` segment that every worker
+  attaches zero-copy (falling back to one pickled blob when shared
+  memory is unavailable) — so no worker ever pickles or recompiles the
+  object topology.  Trials stream lazily into bounded batches (driver
+  memory stays flat on million-trial grids) and results stream back as
+  batches complete.
 
 Because trials are pure functions of (topology, spec, trial), the two
 executors produce identical record sets and therefore byte-identical
-aggregated results — a property the test suite enforces.  Trials/sec
-scales with cores under ``"process"``, which is what lets the studies
-grow to CAIDA-sized topologies (ROADMAP: "as fast as the hardware
-allows").
+aggregated results — a property the test suite enforces.
+
+**Early stopping.**  With ``spec.stopping == "ci"`` the runner
+aggregates incrementally: per fraction it advances a watermark over
+*consecutively completed* trials and, at spec-configured checkpoints,
+bootstraps each cell's CI over that completed-trial prefix.  Once
+every cell of a fraction is narrower than ``spec.stop_ci_width``, the
+fraction stops: later trials are neither scheduled nor emitted (ones
+already in flight are discarded on arrival).  Decisions depend only on
+completed-trial prefixes — never on arrival order — so every executor
+stops each fraction at the same trial count with identical records,
+and ``stopping == "none"`` reproduces the pre-stopping engine byte for
+byte.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterator, Optional
+import queue
+from typing import Callable, Iterator, Optional, Sequence
 
-from ..bgp.topology import AsTopology
+from ..bgp.fastprop import PropagationWorkspace
+from ..bgp.topology import AsTopology, CompiledTopology
 from ..netbase.errors import ReproError
-from .aggregate import ExperimentResult, aggregate_records
-from .evaluate import TrialRecord, evaluate_trial
-from .spec import ExperimentSpec, TrialSpec, materialize_trials
+from .aggregate import ExperimentResult, aggregate_records, prefix_ci_width
+from .evaluate import TrialRecord, evaluate_trials
+from .spec import ExperimentSpec, TrialSpec, iter_trials
 
 __all__ = ["ExperimentRunner", "EXECUTORS"]
 
 EXECUTORS = ("serial", "process")
 
-#: Worker-process state, installed once by the pool initializer so the
-#: topology and spec are pickled per worker, not per task.
+#: Cap on the self-chosen trials-per-task batch: large enough to
+#: amortize IPC, small enough that the bounded in-flight window holds
+#: O(workers) trials — not a fixed share of the grid — so driver
+#: memory stays flat and early stopping stops *scheduling* promptly.
+_MAX_AUTO_BATCH = 64
+
+#: Worker-process state, installed once by the pool initializer:
+#: the attached compiled topology (plus the shared-memory handle
+#: keeping its buffers alive), the spec, and lazily a reusable
+#: propagation workspace and — for the object engine — the
+#: reconstructed object topology.
 _WORKER: dict = {}
 
 
-def _init_worker(topology: AsTopology, spec: ExperimentSpec) -> None:
-    _WORKER["topology"] = topology
+def _attach_shared_blob(name: str):
+    """Attach a shared-memory segment without adopting its lifecycle.
+
+    The driver owns creation and unlinking; a worker only maps the
+    segment.  On Python 3.13+ ``track=False`` keeps the attach out of
+    the resource tracker entirely; before that, pool workers share the
+    driver's tracker, where re-registering the same name is idempotent
+    and the driver's unlink unregisters it exactly once — so a plain
+    attach is already lifecycle-clean.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _init_worker(payload: tuple, spec: ExperimentSpec) -> None:
+    kind, value = payload
+    if kind == "shm":
+        shm = _attach_shared_blob(value)
+        _WORKER["shm"] = shm
+        compiled = CompiledTopology.from_blob(shm.buf)
+    else:  # "blob"
+        compiled = CompiledTopology.from_blob(value)
+    _WORKER["compiled"] = compiled
     _WORKER["spec"] = spec
+    _WORKER["topology"] = None
+    _WORKER["workspace"] = None
+
+
+def _worker_topology():
+    """The evaluation topology: compiled for the array engine, the
+    reconstructed object form for the object engine (built once per
+    worker, from the blob — the object graph never crosses a pipe)."""
+    topology = _WORKER["topology"]
+    if topology is None:
+        compiled = _WORKER["compiled"]
+        if _WORKER["spec"].engine == "array":
+            topology = compiled
+        else:
+            topology = compiled.to_topology()
+        _WORKER["topology"] = topology
+    return topology
 
 
 def _run_batch(batch: list[TrialSpec]) -> list[TrialRecord]:
-    topology = _WORKER["topology"]
     spec = _WORKER["spec"]
-    records: list[TrialRecord] = []
-    for trial in batch:
-        records.extend(evaluate_trial(topology, spec, trial))
-    return records
+    topology = _worker_topology()
+    workspace = _WORKER["workspace"]
+    if workspace is None and spec.engine == "array":
+        workspace = PropagationWorkspace(_WORKER["compiled"])
+        _WORKER["workspace"] = workspace
+    return list(
+        evaluate_trials(topology, spec, batch, workspace=workspace)
+    )
+
+
+class _StopTracker:
+    """Prefix-deterministic early stopping for one run.
+
+    Records arrive in arbitrary order; per fraction the tracker holds
+    them until the trial-index watermark (count of consecutively
+    completed trials from 0) passes them, then releases them
+    downstream.  At checkpoints — ``stop_min_trials``, then every
+    ``stop_check_every`` — it bootstraps each cell's CI over the
+    completed prefix; when all cells beat ``stop_ci_width`` the
+    fraction's stop count is fixed at that watermark and everything at
+    or past it is discarded.  Every quantity consulted is a pure
+    function of the completed-trial prefix, so all executors make
+    identical decisions.
+    """
+
+    def __init__(self, spec: ExperimentSpec) -> None:
+        self.spec = spec
+        cells = len(spec.cells)
+        self._pending: list[dict[int, list[TrialRecord]]] = [
+            {} for _ in spec.fractions
+        ]
+        self._values: list[list[list[float]]] = [
+            [[] for _ in range(cells)] for _ in spec.fractions
+        ]
+        self._watermark = [0] * len(spec.fractions)
+        self._stop_at: list[Optional[int]] = [None] * len(spec.fractions)
+
+    def stopped_at(self, fraction_index: int) -> Optional[int]:
+        return self._stop_at[fraction_index]
+
+    def wants_index(self, fraction_index: int, trial_index: int) -> bool:
+        """Should this grid coordinate still be evaluated?"""
+        stop = self._stop_at[fraction_index]
+        return stop is None or trial_index < stop
+
+    def wants(self, trial: TrialSpec) -> bool:
+        """Should this trial still be evaluated?"""
+        return self.wants_index(trial.fraction_index, trial.trial_index)
+
+    def final_counts(self) -> tuple[int, ...]:
+        return tuple(
+            self.spec.trials if stop is None else stop
+            for stop in self._stop_at
+        )
+
+    def observe(self, record: TrialRecord) -> list[TrialRecord]:
+        """Absorb one record; return records now safe to emit."""
+        spec = self.spec
+        f = record.fraction_index
+        stop = self._stop_at[f]
+        if stop is not None and record.trial_index >= stop:
+            return []
+        pending = self._pending[f]
+        pending.setdefault(record.trial_index, []).append(record)
+        released: list[TrialRecord] = []
+        cells = len(spec.cells)
+        values = self._values[f]
+        while True:
+            watermark = self._watermark[f]
+            complete = pending.get(watermark)
+            if complete is None or len(complete) != cells:
+                break
+            del pending[watermark]
+            complete.sort(key=lambda r: r.cell_index)
+            for released_record in complete:
+                values[released_record.cell_index].append(
+                    released_record.attacker_fraction
+                )
+            released.extend(complete)
+            self._watermark[f] = watermark = watermark + 1
+            if self._should_stop(f, watermark):
+                self._stop_at[f] = watermark
+                for trial_index in [
+                    t for t in pending if t >= watermark
+                ]:
+                    del pending[trial_index]
+                break
+        return released
+
+    def _should_stop(self, fraction_index: int, watermark: int) -> bool:
+        spec = self.spec
+        if watermark >= spec.trials:
+            return False  # natural completion; nothing to cut short
+        if watermark < spec.stop_min_trials:
+            return False
+        if (watermark - spec.stop_min_trials) % spec.stop_check_every:
+            return False
+        values = self._values[fraction_index]
+        return all(
+            prefix_ci_width(
+                cell_values, spec.seed, fraction_index, cell_index
+            ) <= spec.stop_ci_width
+            for cell_index, cell_values in enumerate(values)
+        )
+
+    def flush_check(self) -> None:
+        """Verify every fraction completed (no trials lost in flight)."""
+        for f, pending in enumerate(self._pending):
+            expected = self.final_counts()[f]
+            if self._watermark[f] < expected or pending:
+                raise ReproError(
+                    f"fraction index {f} completed "
+                    f"{self._watermark[f]} of {expected} trials"
+                )
 
 
 class ExperimentRunner:
@@ -62,6 +238,12 @@ class ExperimentRunner:
         workers: pool size for ``"process"`` (default: CPU count).
         batch_size: trials per pool task (default: balance ~4 tasks
             per worker so stragglers do not serialize the tail).
+
+    After a ``"process"`` run, :attr:`last_shared_segment` names the
+    shared-memory segment the run used (``None`` if the blob-pickle
+    fallback shipped the topology); the segment itself is always
+    unlinked by the time :meth:`iter_records` finishes — including on
+    worker exceptions.
     """
 
     def __init__(
@@ -86,38 +268,170 @@ class ExperimentRunner:
         self.executor = executor
         self.workers = workers or os.cpu_count() or 1
         self.batch_size = batch_size
+        self.last_shared_segment: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Record streaming
     # ------------------------------------------------------------------
 
+    def _make_tracker(self) -> Optional["_StopTracker"]:
+        return (
+            _StopTracker(self.spec)
+            if self.spec.stopping == "ci" else None
+        )
+
     def iter_records(self) -> Iterator[TrialRecord]:
         """Stream TrialRecords as trials complete (unordered under the
-        process executor; the aggregator re-orders)."""
-        trials = materialize_trials(self.spec, self.topology)
+        process executor; the aggregator re-orders).
+
+        Under ``spec.stopping == "ci"`` the stream carries exactly the
+        records of trials before each fraction's stop point.
+        """
+        return self._records(self._make_tracker())
+
+    def _records(
+        self, tracker: Optional["_StopTracker"]
+    ) -> Iterator[TrialRecord]:
+        """One run's record stream; all per-run state (stop tracker,
+        shared-memory handle) lives in this generator, so overlapping
+        or abandoned iterations cannot interfere with each other."""
+        trials = iter_trials(
+            self.spec,
+            self.topology,
+            wants=None if tracker is None else tracker.wants_index,
+        )
         if self.executor == "serial":
-            for trial in trials:
-                yield from evaluate_trial(self.topology, self.spec, trial)
+            raw = self._iter_serial(trials, tracker)
+        else:
+            raw = self._iter_process(trials, tracker)
+        if tracker is None:
+            yield from raw
             return
-        yield from self._iter_process(trials)
+        for record in raw:
+            yield from tracker.observe(record)
+        tracker.flush_check()
+
+    def _iter_serial(
+        self,
+        trials: Iterator[TrialSpec],
+        tracker: Optional[_StopTracker],
+    ) -> Iterator[TrialRecord]:
+        # The trial generator already declines stopped trials via its
+        # ``wants`` hook; the extra filter catches trials yielded just
+        # before a stopping decision landed.
+        wanted = (
+            trial for trial in trials
+            if tracker is None or tracker.wants(trial)
+        )
+        yield from evaluate_trials(self.topology, self.spec, wanted)
 
     def _iter_process(
-        self, trials: list[TrialSpec]
+        self,
+        trials: Iterator[TrialSpec],
+        tracker: Optional[_StopTracker],
     ) -> Iterator[TrialRecord]:
         batch_size = self.batch_size or max(
-            1, len(trials) // (self.workers * 4)
+            1,
+            min(
+                self.spec.total_trials // (self.workers * 4),
+                _MAX_AUTO_BATCH,
+            ),
         )
-        batches = [
-            trials[start:start + batch_size]
-            for start in range(0, len(trials), batch_size)
-        ]
-        with multiprocessing.Pool(
-            processes=self.workers,
-            initializer=_init_worker,
-            initargs=(self.topology, self.spec),
-        ) as pool:
-            for records in pool.imap_unordered(_run_batch, batches):
-                yield from records
+        payload, shm = self._share_topology()
+        try:
+            with multiprocessing.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(payload, self.spec),
+            ) as pool:
+                yield from self._pump_pool(
+                    pool, trials, batch_size, tracker
+                )
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def _pump_pool(
+        self,
+        pool,
+        trials: Iterator[TrialSpec],
+        batch_size: int,
+        tracker: Optional[_StopTracker],
+    ) -> Iterator[TrialRecord]:
+        """Windowed task submission: at most ``2 × workers`` batches in
+        flight, so lazy trial materialization actually bounds memory
+        and early stopping stops *scheduling*, not just emitting."""
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        inflight = 0
+
+        def next_batch() -> Optional[list[TrialSpec]]:
+            batch: list[TrialSpec] = []
+            for trial in trials:
+                if tracker is not None and not tracker.wants(trial):
+                    continue
+                batch.append(trial)
+                if len(batch) >= batch_size:
+                    break
+            return batch or None
+
+        def submit() -> None:
+            nonlocal inflight
+            while inflight < self.workers * 2:
+                batch = next_batch()
+                if batch is None:
+                    return
+                pool.apply_async(
+                    _run_batch,
+                    (batch,),
+                    callback=lambda r: results.put((True, r)),
+                    error_callback=lambda e: results.put((False, e)),
+                )
+                inflight += 1
+
+        submit()
+        while inflight:
+            ok, value = results.get()
+            inflight -= 1
+            if not ok:
+                raise value
+            yield from value
+            submit()
+
+    # ------------------------------------------------------------------
+    # Shared-memory topology shipping
+    # ------------------------------------------------------------------
+
+    def _share_topology(self) -> tuple:
+        """Compile once, publish the blob, return (payload, handle).
+
+        Preferred transport: a shared-memory segment all workers attach
+        zero-copy — the caller owns the returned handle and unlinks it
+        when its run ends.  Fallback (no ``/dev/shm``, permissions):
+        the blob rides the initializer's pickle — still one flat
+        buffer, still no per-worker recompile.
+        ``last_shared_segment`` records the most recent run's segment
+        name (observability only).
+        """
+        blob = self.topology.compiled().to_blob()
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        except (ImportError, OSError):
+            self.last_shared_segment = None
+            return ("blob", blob), None
+        try:
+            shm.buf[: len(blob)] = blob
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        self.last_shared_segment = shm.name
+        return ("shm", shm.name), shm
 
     # ------------------------------------------------------------------
     # One-shot aggregation
@@ -135,15 +449,23 @@ class ExperimentRunner:
         ``on_record`` observes each record as it streams in (progress
         reporting); it must not mutate the record.
         """
+        tracker = self._make_tracker()
+
         def records() -> Iterator[TrialRecord]:
-            for record in self.iter_records():
+            for record in self._records(tracker):
                 if on_record is not None:
                     on_record(record)
                 yield record
+
+        def expected() -> Sequence[int]:
+            if tracker is not None:
+                return tracker.final_counts()
+            return (self.spec.trials,) * len(self.spec.fractions)
 
         return aggregate_records(
             self.spec,
             records(),
             bootstrap_resamples=bootstrap_resamples,
             confidence=confidence,
+            expected_trials=expected,
         )

@@ -29,7 +29,7 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from ..bgp.attacks import coerce_engine
 from ..bgp.topology import AsTopology
@@ -53,10 +53,12 @@ __all__ = [
     "ExperimentSpec",
     "TrialSpec",
     "derive_trial_seed",
+    "iter_trials",
     "materialize_trials",
 ]
 
 _SEEDINGS = ("derived", "stream")
+_STOPPINGS = ("none", "ci")
 
 
 def derive_trial_seed(seed: int, fraction_index: int, trial_index: int) -> int:
@@ -117,6 +119,20 @@ class ExperimentSpec:
             bucketed BFS) or ``"array"`` (the flat-array engine that
             makes CAIDA-scale grids practical).  The two are
             bit-identical, so this is purely a speed knob.
+        stopping: adaptive early stopping — ``"none"`` (run exactly
+            ``trials`` everywhere; byte-identical to the pre-stopping
+            engine) or ``"ci"`` (a fraction stops early once *every*
+            cell's bootstrap CI for the mean is narrower than
+            ``stop_ci_width``).  Stopping decisions are a pure
+            function of completed-trial prefixes, so every executor
+            stops at the same trial count with the same records; a
+            trial that does run is evaluated identically either way.
+        stop_ci_width: the CI-width threshold (absolute capture
+            fraction) for ``stopping="ci"``.
+        stop_min_trials: trials a fraction must complete before the
+            first stopping check.
+        stop_check_every: stopping is re-checked every this many
+            trials past the minimum (checks cost a bootstrap).
     """
 
     cells: tuple[ScenarioCell, ...]
@@ -130,6 +146,10 @@ class ExperimentSpec:
     attack_prefix: Optional[Prefix] = None
     seeding: str = "derived"
     engine: str = "object"
+    stopping: str = "none"
+    stop_ci_width: float = 0.05
+    stop_min_trials: int = 16
+    stop_check_every: int = 8
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "cells", tuple(self.cells))
@@ -148,6 +168,16 @@ class ExperimentSpec:
                 f"unknown seeding {self.seeding!r}; expected {_SEEDINGS}"
             )
         coerce_engine(self.engine)
+        if self.stopping not in _STOPPINGS:
+            raise ReproError(
+                f"unknown stopping {self.stopping!r}; expected {_STOPPINGS}"
+            )
+        if not self.stop_ci_width > 0.0:
+            raise ReproError("stop_ci_width must be positive")
+        if self.stop_min_trials < 2:
+            raise ReproError("stop_min_trials must be at least 2")
+        if self.stop_check_every < 1:
+            raise ReproError("stop_check_every must be positive")
         names = [cell.name for cell in self.cells]
         if len(set(names)) != len(names):
             raise ReproError(f"duplicate cell names in {names}")
@@ -231,6 +261,10 @@ class ExperimentSpec:
             ),
             "seeding": self.seeding,
             "engine": self.engine,
+            "stopping": self.stopping,
+            "stop_ci_width": self.stop_ci_width,
+            "stop_min_trials": self.stop_min_trials,
+            "stop_check_every": self.stop_check_every,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -260,6 +294,10 @@ class ExperimentSpec:
                 ),
                 seeding=data.get("seeding", "derived"),
                 engine=data.get("engine", "object"),
+                stopping=data.get("stopping", "none"),
+                stop_ci_width=float(data.get("stop_ci_width", 0.05)),
+                stop_min_trials=int(data.get("stop_min_trials", 16)),
+                stop_check_every=int(data.get("stop_check_every", 8)),
             )
         except KeyError as exc:
             raise ReproError(f"spec JSON missing key {exc}") from None
@@ -381,14 +419,30 @@ def _sampler_from_json(data: Union[str, dict]) -> VictimAttackerSampler:
 # ----------------------------------------------------------------------
 
 
-def materialize_trials(
-    spec: ExperimentSpec, topology: AsTopology
-) -> list[TrialSpec]:
-    """Draw every trial of the spec, in deterministic order.
+def iter_trials(
+    spec: ExperimentSpec,
+    topology: AsTopology,
+    *,
+    wants: Optional[Callable[[int, int], bool]] = None,
+) -> Iterator[TrialSpec]:
+    """Draw the spec's trials lazily, in deterministic order.
 
     All RNG consumption happens here, in fractions-outer, trials-inner
     order; the per-trial draw order is fixed (cast, validators, coin
     word, tie seed) so both seeding disciplines are stable contracts.
+
+    Laziness is what keeps driver memory flat on grids with millions
+    of trials: the runner pulls trials into bounded batches instead of
+    materializing the full list.
+
+    ``wants(fraction_index, trial_index)`` lets an early-stopping
+    consumer decline trials before they are drawn.  Under
+    ``"derived"`` seeding a declined trial is skipped outright — its
+    seed is self-contained, so nothing downstream shifts.  Under
+    ``"stream"`` seeding every trial's draws depend on all draws
+    before it, so a declined trial is still materialized (advancing
+    the shared RNG) and only withheld from the stream; later
+    fractions' trials stay bit-identical either way.
     """
     pool = spec.sampler.population(topology)
     needs_validators = any(f is not None for f in spec.fractions)
@@ -399,9 +453,11 @@ def materialize_trials(
         random.Random(spec.seed) if spec.seeding == "stream" else None
     )
 
-    trials: list[TrialSpec] = []
     for fraction_index, fraction in enumerate(spec.fractions):
         for trial_index in range(spec.trials):
+            wanted = wants is None or wants(fraction_index, trial_index)
+            if not wanted and stream_rng is None:
+                continue  # derived seeding: skip without drawing
             if stream_rng is not None:
                 rng = stream_rng
             else:
@@ -418,15 +474,26 @@ def materialize_trials(
             trial_bits = (
                 rng.getrandbits(64) if spec.needs_trial_bits else 0
             )
-            trials.append(
-                TrialSpec(
-                    fraction_index=fraction_index,
-                    trial_index=trial_index,
-                    victim=victim,
-                    attackers=attackers,
-                    validating_ases=validators,
-                    tie_seed=rng.getrandbits(32),
-                    trial_bits=trial_bits,
-                )
+            tie_seed = rng.getrandbits(32)
+            if not wanted:
+                continue  # stream RNG advanced; trial withheld
+            yield TrialSpec(
+                fraction_index=fraction_index,
+                trial_index=trial_index,
+                victim=victim,
+                attackers=attackers,
+                validating_ases=validators,
+                tie_seed=tie_seed,
+                trial_bits=trial_bits,
             )
-    return trials
+
+
+def materialize_trials(
+    spec: ExperimentSpec, topology: AsTopology
+) -> list[TrialSpec]:
+    """Every trial of the spec as a list — :func:`iter_trials`, eager.
+
+    Kept for small grids and tests; executors stream from
+    :func:`iter_trials` so memory stays flat.
+    """
+    return list(iter_trials(spec, topology))

@@ -169,6 +169,21 @@ class TestExperimentCommand:
         assert main(self.SMALL + ["--spec", str(spec_path)]) == 0
         assert "forged-origin/minimal" in capsys.readouterr().out
 
+    def test_stop_flags_imply_ci_stopping(self, capsys):
+        import json
+
+        assert main(self.SMALL + [
+            "--stop-ci-width", "0.1", "--emit-spec",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["stopping"] == "ci"
+        assert data["stop_ci_width"] == 0.1
+        # An explicit --stopping none wins over the implication.
+        assert main(self.SMALL + [
+            "--stop-ci-width", "0.1", "--stopping", "none", "--emit-spec",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["stopping"] == "none"
+
     def test_bad_policy_rejected(self, capsys):
         assert main(self.SMALL + ["--policies", "maximal"]) == 2
         assert "bad experiment spec" in capsys.readouterr().err
