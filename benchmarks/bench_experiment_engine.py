@@ -24,13 +24,12 @@ Run:  PYTHONPATH=src python benchmarks/bench_experiment_engine.py \
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import random
 import sys
 import time
-from pathlib import Path
 
+from benchlib import emit_report
 from repro.data import TopologyProfile, generate_topology
 from repro.exper import (
     ExperimentRunner,
@@ -39,8 +38,6 @@ from repro.exper import (
     MinimalRoa,
     ScenarioCell,
 )
-
-RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def bench_executor(topology, spec, executor: str, workers: int) -> dict:
@@ -98,34 +95,22 @@ def main(argv=None) -> int:
     # to 2x (or below it) for the check to be meaningful.
     applicable = args.workers >= 4 and cpu_count >= args.workers
 
-    report = {
-        "benchmark": "experiment_engine",
-        "topology_ases": args.ases,
-        "workers": args.workers,
-        "cpu_count": cpu_count,
-        "serial": serial,
-        "process": parallel,
-        "speedup": speedup,
-        "acceptance": {
+    return emit_report(
+        "experiment_engine",
+        {
+            "topology_ases": args.ases,
+            "workers": args.workers,
+            "cpu_count": cpu_count,
+            "serial": serial,
+            "process": parallel,
+            "speedup": speedup,
+        },
+        {
             "results_identical": identical,
             # null = skipped (needs a >=4-worker run on >=4 cores).
             "gte_2x_speedup": speedup >= 2.0 if applicable else None,
         },
-    }
-    text = json.dumps(report, indent=2)
-    print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "experiment_engine.json").write_text(
-        text + "\n", encoding="utf-8"
     )
-    failed = [
-        name for name, passed in report["acceptance"].items()
-        if passed is False
-    ]
-    if failed:
-        print(f"acceptance FAILED: {failed}", file=sys.stderr)
-        return 1
-    return 0
 
 
 if __name__ == "__main__":

@@ -28,18 +28,15 @@ Run:  PYTHONPATH=src python benchmarks/bench_propagation.py \
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import sys
 import time
-from pathlib import Path
 
+from benchlib import emit_report
 from repro.bgp import Seed, VrpIndex, evaluate_attack_seeds
 from repro.data import TopologyProfile, generate_topology
 from repro.netbase import Prefix
 from repro.rpki import Vrp
-
-RESULTS_DIR = Path(__file__).parent / "results"
 
 VICTIM_PREFIX = Prefix.parse("168.122.0.0/16")
 ATTACK_PREFIX = Prefix.parse("168.122.0.0/24")
@@ -119,34 +116,22 @@ def main(argv=None) -> int:
     speedup = round(
         object_run["wall_seconds"] / array_run["wall_seconds"], 2
     )
-    report = {
-        "benchmark": "propagation",
-        "topology_ases": len(topology),
-        "topology_edges": topology.edge_count(),
-        "compile_seconds": round(compile_seconds, 4),
-        "compiled_size": len(compiled),
-        "object": object_run,
-        "array": array_run,
-        "speedup": speedup,
-        "acceptance": {
+    return emit_report(
+        "propagation",
+        {
+            "topology_ases": len(topology),
+            "topology_edges": topology.edge_count(),
+            "compile_seconds": round(compile_seconds, 4),
+            "compiled_size": len(compiled),
+            "object": object_run,
+            "array": array_run,
+            "speedup": speedup,
+        },
+        {
             "results_identical": identical,
             "gte_5x_speedup": speedup >= 5.0,
         },
-    }
-    text = json.dumps(report, indent=2)
-    print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "propagation.json").write_text(
-        text + "\n", encoding="utf-8"
     )
-    failed = [
-        name for name, passed in report["acceptance"].items()
-        if passed is False
-    ]
-    if failed:
-        print(f"acceptance FAILED: {failed}", file=sys.stderr)
-        return 1
-    return 0
 
 
 if __name__ == "__main__":

@@ -22,12 +22,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import random
 import sys
 import time
-from pathlib import Path
 
+from benchlib import emit_report
 from repro.netbase import AF_INET, Prefix
 from repro.rpki import Vrp
 from repro.serve import (
@@ -37,7 +36,6 @@ from repro.serve import (
     ServeMetrics,
 )
 
-RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def synth_vrps(count: int, rng: random.Random) -> list[Vrp]:
@@ -139,23 +137,19 @@ def main(argv=None) -> int:
     print(f"queries: {args.queries} validity lookups...", file=sys.stderr)
     queries = bench_queries(vrps, args.queries, rng)
 
-    report = {
-        "benchmark": "serve_fanout",
-        "rtr_fanout": fanout,
-        "validity_queries": queries,
-        "acceptance": {
+    return emit_report(
+        "serve_fanout",
+        {
+            "rtr_fanout": fanout,
+            "validity_queries": queries,
+        },
+        {
             "single_table_encode": fanout["table_encodes"] == 1,
             "all_tables_complete": fanout["all_tables_complete"],
             "gte_50k_queries_per_second":
                 queries["batch_per_second"] >= 50000,
         },
-    }
-    text = json.dumps(report, indent=2)
-    print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "serve_fanout.json").write_text(text + "\n",
-                                                   encoding="utf-8")
-    return 0 if all(report["acceptance"].values()) else 1
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,71 @@
+"""The one way benchmark reports are written.
+
+Every ``bench_*.py`` script used to hand-roll its own report tail —
+dump JSON, write ``results/<name>.json``, scan the acceptance dict,
+exit non-zero on failure — with slightly different layouts, which made
+the ``BENCH_*`` trajectory points under ``benchmarks/results/`` hard
+to compare across PRs.  :func:`emit_report` is that tail, once, with a
+fixed envelope::
+
+    {
+      "benchmark": "<name>",           # which benchmark
+      "bench_schema": 1,               # envelope version
+      ...benchmark-specific payload...,
+      "acceptance": {"gate": true|false|null}   # null = skipped
+    }
+
+Acceptance values are tri-state: ``True`` passed, ``False`` failed
+(the script exits 1 and CI goes red), ``None`` skipped (recorded but
+not gating — e.g. a check that needs more cores than the runner has).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+__all__ = ["BENCH_SCHEMA", "RESULTS_DIR", "emit_report"]
+
+#: Version of the report envelope written by :func:`emit_report`.
+BENCH_SCHEMA = 1
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_report(
+    name: str,
+    payload: Mapping[str, object],
+    acceptance: Mapping[str, Optional[bool]],
+    *,
+    results_dir: Path = RESULTS_DIR,
+) -> int:
+    """Print, persist, and gate one benchmark report.
+
+    Writes ``<results_dir>/<name>.json``, prints the same JSON to
+    stdout, and returns the script's exit code: 1 if any acceptance
+    value is ``False``, else 0 (``None`` values never gate).
+    """
+    report: Dict[str, object] = {
+        "benchmark": name,
+        "bench_schema": BENCH_SCHEMA,
+    }
+    for key, value in payload.items():
+        if key in report or key == "acceptance":
+            raise ValueError(f"payload may not override {key!r}")
+        report[key] = value
+    report["acceptance"] = dict(acceptance)
+    text = json.dumps(report, indent=2)
+    print(text)
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / f"{name}.json").write_text(
+        text + "\n", encoding="utf-8"
+    )
+    failed = [
+        gate for gate, passed in acceptance.items() if passed is False
+    ]
+    if failed:
+        print(f"acceptance FAILED: {failed}", file=sys.stderr)
+        return 1
+    return 0

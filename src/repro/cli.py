@@ -15,7 +15,11 @@ Subcommands mirror the paper's workflow:
 * ``serve``     — the full serving tier: async high-fanout RTR
   distribution plus the origin-validation HTTP/JSON query service.
 * ``experiment`` — run an attack-effectiveness experiment grid on the
-  :mod:`repro.exper` engine, from flags or a JSON spec file.
+  :mod:`repro.exper` engine, from flags or a JSON spec file; with
+  ``--sink`` the run records durably (and ``--resume`` continues an
+  interrupted recording to a byte-identical result).
+* ``results``   — inspect durable run records: ``show`` re-aggregates
+  a run file, ``merge`` unions shard-partial runs of one spec.
 
 Examples::
 
@@ -26,6 +30,9 @@ Examples::
     repro-roa experiment --kinds forged-origin-subprefix \\
         --policies minimal,maxlength-loose --fractions 0,0.5,1 \\
         --trials 50 --executor process
+    repro-roa experiment --trials 50 --sink run.jsonl --resume
+    repro-roa results show run.jsonl
+    repro-roa results merge merged.jsonl shard0.jsonl shard1.jsonl
 """
 
 from __future__ import annotations
@@ -122,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--http-port", type=int, default=8080)
     serve.add_argument("--compress", action="store_true",
                        help="compress before serving")
+    serve.add_argument(
+        "--results",
+        help="directory of recorded runs (a ResultsStore) to serve "
+             "on the /experiments endpoints",
+    )
 
     experiment = sub.add_parser(
         "experiment",
@@ -185,10 +197,40 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--stop-check-every", type=int,
                             help="trials between stopping checks "
                                  "(default 8; implies --stopping ci)")
+    experiment.add_argument(
+        "--sink",
+        help="record every trial durably into this JSONL run file "
+             "(appendable, crash-safe; see repro-roa results)",
+    )
+    experiment.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted recording in --sink: completed "
+             "trials replay instead of re-running, and the final "
+             "result is byte-identical to an uninterrupted run",
+    )
     experiment.add_argument("--emit-spec", action="store_true",
                             help="print the spec as JSON and exit")
     experiment.add_argument("--json", action="store_true",
                             help="print the aggregated result as JSON")
+
+    results = sub.add_parser(
+        "results",
+        help="inspect / combine durable experiment run records",
+    )
+    results_sub = results.add_subparsers(dest="results_command",
+                                         required=True)
+    show = results_sub.add_parser(
+        "show", help="re-aggregate a recorded run and print its grid"
+    )
+    show.add_argument("run", help="run file (JSONL) to aggregate")
+    show.add_argument("--json", action="store_true",
+                      help="print the aggregated result as JSON")
+    merge = results_sub.add_parser(
+        "merge",
+        help="union shard-partial runs of one spec into a single run",
+    )
+    merge.add_argument("output", help="merged run file to write")
+    merge.add_argument("inputs", nargs="+", help="input run files")
     return parser
 
 
@@ -336,6 +378,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.compress:
         vrps = compress_vrps(vrps)
 
+    runs = None
+    if args.results:
+        from .results import ResultsStore, RunRegistry
+
+        runs = RunRegistry()
+        loaded = runs.load_store(ResultsStore(args.results))
+        print(f"results: {loaded} recorded runs from {args.results}")
+
     async def run() -> None:
         metrics = ServeMetrics()
         rtr = AsyncRtrServer(
@@ -344,7 +394,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service = QueryService(vrps, metrics=metrics)
         service.serial = rtr.state.serial
         http = QueryHttpServer(
-            service, host=args.http_host, port=args.http_port, metrics=metrics)
+            service, host=args.http_host, port=args.http_port,
+            metrics=metrics, runs=runs)
         await http.start()
         print(
             f"RTR: {len(vrps)} VRPs at serial {rtr.state.serial} on "
@@ -352,7 +403,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(
             f"HTTP: GET http://{http.host}:{http.port}/validity"
-            f"?asn=…&prefix=… (also /metrics, /status); Ctrl-C to stop"
+            f"?asn=…&prefix=… (also /metrics, /status, /experiments); "
+            f"Ctrl-C to stop"
         )
         await asyncio.Event().wait()  # serve until interrupted
 
@@ -474,14 +526,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         f"({args.executor} executor)",
         file=sys.stderr,
     )
+    sink = None
+    if args.sink:
+        from .results import JsonlSink
+
+        sink = JsonlSink(args.sink)
+    elif args.resume:
+        print("--resume requires --sink", file=sys.stderr)
+        return 2
     runner = ExperimentRunner(
-        topology, spec, executor=args.executor, workers=args.workers
+        topology, spec, executor=args.executor, workers=args.workers,
+        sink=sink, resume_from=sink if args.resume else None,
     )
     try:
         result = runner.run()
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
+        # OSError: an unwritable/unreadable --sink path.
         print(f"experiment failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if sink is not None:
+            sink.close()
+    if sink is not None:
+        print(f"recorded run: {args.sink}", file=sys.stderr)
     if args.json:
         print(json.dumps(_result_to_json(result), indent=2))
     else:
@@ -513,6 +580,41 @@ def _result_to_json(result) -> dict:
     }
 
 
+def _cmd_results(args: argparse.Namespace) -> int:
+    import json
+
+    from .netbase.errors import ReproError
+    from .results import merge_runs, read_run, run_result
+
+    try:
+        if args.results_command == "merge":
+            header, count = merge_runs(args.output, args.inputs)
+            print(
+                f"merged {len(args.inputs)} runs "
+                f"(spec hash {header.spec_hash}) into {args.output}: "
+                f"{count} records"
+            )
+            return 0
+        header, records = read_run(args.run)
+        result, dropped = run_result(header, records)
+    except (ReproError, OSError) as exc:
+        print(f"results {args.results_command} failed: {exc}",
+              file=sys.stderr)
+        return 1
+    print(
+        f"run {args.run}: spec hash {header.spec_hash}, "
+        f"seed {header.seed}, engine {header.engine}, "
+        f"{len(records)} records"
+        + (f" ({dropped} past the completed prefix)" if dropped else ""),
+        file=sys.stderr,
+    )
+    if args.json:
+        print(json.dumps(_result_to_json(result), indent=2))
+    else:
+        print(result.render())
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "minimal": _cmd_minimal,
@@ -524,6 +626,7 @@ _COMMANDS = {
     "rtr-serve": _cmd_rtr_serve,
     "serve": _cmd_serve,
     "experiment": _cmd_experiment,
+    "results": _cmd_results,
 }
 
 

@@ -31,9 +31,11 @@ The layers, bottom to top:
 * :mod:`repro.exper.evaluate` — pure (topology, spec, trial) →
   :class:`TrialRecord` evaluation, including multi-attacker and
   path-prepended generalizations.
-* :mod:`repro.exper.runner` — serial and multiprocessing executors.
+* :mod:`repro.exper.runner` — serial and multiprocessing executors,
+  plus durable-record sinks and resumption (see :mod:`repro.results`).
 * :mod:`repro.exper.aggregate` — means, stdevs, and bootstrap
-  confidence intervals per grid cell.
+  confidence intervals per grid cell, streamed through
+  :mod:`repro.results.accumulate`.
 """
 
 from .aggregate import (
@@ -42,7 +44,12 @@ from .aggregate import (
     aggregate_records,
     prefix_ci_width,
 )
-from .evaluate import TrialRecord, evaluate_trial, evaluate_trials
+from .evaluate import (
+    RECORD_SCHEMA,
+    TrialRecord,
+    evaluate_trial,
+    evaluate_trials,
+)
 from .runner import EXECUTORS, ExperimentRunner
 from .scenarios import (
     AnyAsPairSampler,
@@ -81,6 +88,7 @@ __all__ = [
     "MinimalRoa",
     "NoRoa",
     "PartialCoverageRoa",
+    "RECORD_SCHEMA",
     "RoaPolicy",
     "ScenarioCell",
     "StubPairSampler",

@@ -7,6 +7,12 @@ interval for the mean.  The bootstrap RNG is derived from the spec
 seed and the cell coordinates, so the whole result — intervals
 included — is a pure function of (spec, topology), independent of
 which executor produced the records or in what order they arrived.
+
+Records stream through
+:class:`~repro.results.accumulate.CellAccumulator`\\ s: the aggregator
+holds one small outcome row per trial per cell rather than whole
+:class:`TrialRecord` objects, so driver memory on million-trial grids
+is bounded by the values the bootstrap genuinely needs.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..netbase.errors import ReproError
+from ..results.accumulate import GridAccumulator
 from .evaluate import TrialRecord
 from .spec import ExperimentSpec
 
@@ -212,7 +219,7 @@ class ExperimentResult:
 
 def _streamed_count(
     spec: ExperimentSpec,
-    grid: dict[tuple[int, int], dict[int, TrialRecord]],
+    grid: GridAccumulator,
     fraction_index: int,
 ) -> int:
     """A stopped fraction's trial count, recovered from its records:
@@ -220,13 +227,13 @@ def _streamed_count(
     cells = range(len(spec.cells))
     count = 0
     while count < spec.trials and all(
-        count in grid.get((fraction_index, cell), ())
+        grid.cell(fraction_index, cell).has_trial(count)
         for cell in cells
     ):
         count += 1
     for cell in cells:
         stray = [
-            t for t in grid.get((fraction_index, cell), ())
+            t for t in grid.cell(fraction_index, cell).trial_indices()
             if t >= count
         ]
         if stray:
@@ -265,17 +272,14 @@ def aggregate_records(
     runner emits), and any record beyond that run is an error — so
     ``aggregate_records(spec, runner.iter_records())`` works for every
     spec.
+
+    The stream is consumed record by record into per-cell
+    accumulators; only the per-trial outcome rows survive, never the
+    records themselves.
     """
-    grid: dict[tuple[int, int], dict[int, TrialRecord]] = {}
+    grid = GridAccumulator(spec)
     for record in records:
-        coordinate = (record.fraction_index, record.cell_index)
-        per_trial = grid.setdefault(coordinate, {})
-        if record.trial_index in per_trial:
-            raise ReproError(
-                f"duplicate record for trial {record.trial_index} of "
-                f"cell {record.cell!r}"
-            )
-        per_trial[record.trial_index] = record
+        grid.add(record)
 
     if expected_trials is None:
         if spec.stopping == "none":
@@ -300,14 +304,13 @@ def aggregate_records(
         expected = counts[fraction_index]
         row: list[CellStats] = []
         for cell_index, cell in enumerate(spec.cells):
-            per_trial = grid.get((fraction_index, cell_index), {})
-            if len(per_trial) != expected:
-                raise ReproError(
-                    f"cell {cell.name!r} at fraction index {fraction_index} "
-                    f"has {len(per_trial)} of {expected} trials"
-                )
-            ordered = [per_trial[t] for t in range(expected)]
-            values = tuple(r.attacker_fraction for r in ordered)
+            # Rows are (attacker, victim, disconnected, filtered)
+            # tuples in trial order; ordered_rows raises — with the
+            # exact incompleteness message — when trials are missing.
+            ordered = grid.cell(fraction_index, cell_index).ordered_rows(
+                expected
+            )
+            values = tuple(r[0] for r in ordered)
             mean = statistics.mean(values)
             stdev = statistics.stdev(values) if len(values) > 1 else 0.0
             ci_low, ci_high = _bootstrap_ci(
@@ -327,15 +330,12 @@ def aggregate_records(
                     stdev=stdev,
                     ci_low=ci_low,
                     ci_high=ci_high,
-                    victim_mean=statistics.mean(
-                        r.victim_fraction for r in ordered
-                    ),
+                    victim_mean=statistics.mean(r[1] for r in ordered),
                     disconnected_mean=statistics.mean(
-                        r.disconnected_fraction for r in ordered
+                        r[2] for r in ordered
                     ),
                     filtered_fraction=(
-                        sum(r.attack_route_filtered for r in ordered)
-                        / len(ordered)
+                        sum(r[3] for r in ordered) / len(ordered)
                     ),
                 )
             )

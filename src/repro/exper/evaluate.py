@@ -28,10 +28,39 @@ from ..bgp.fastprop import (
 )
 from ..bgp.simulation import Seed
 from ..bgp.topology import AsTopology, CompiledTopology
+from ..netbase.errors import ReproError
 from .scenarios import AttackConfig
 from .spec import ExperimentSpec, TrialSpec
 
-__all__ = ["TrialRecord", "evaluate_trial", "evaluate_trials"]
+__all__ = [
+    "RECORD_SCHEMA",
+    "TrialRecord",
+    "evaluate_trial",
+    "evaluate_trials",
+]
+
+#: Version of the TrialRecord wire schema.  Bump it when the field
+#: list below changes; readers reject records from other versions
+#: rather than guessing at their meaning.
+RECORD_SCHEMA = 1
+
+#: The exact wire field list, in serialization order.  ``to_json_dict``
+#: emits these plus ``"schema"``; ``from_json_dict`` requires all of
+#: them and rejects anything else — silent drift between writer and
+#: reader is how archived runs rot.
+_RECORD_FIELDS = (
+    "fraction_index",
+    "trial_index",
+    "cell_index",
+    "fraction",
+    "cell",
+    "victim",
+    "attackers",
+    "attacker_fraction",
+    "victim_fraction",
+    "disconnected_fraction",
+    "attack_route_filtered",
+)
 
 
 @dataclass(frozen=True)
@@ -65,6 +94,98 @@ class TrialRecord:
     @property
     def sort_key(self) -> tuple[int, int, int]:
         return (self.fraction_index, self.trial_index, self.cell_index)
+
+    # ------------------------------------------------------------------
+    # Versioned wire schema (the repro.results JSONL line format)
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """This record as a schema-versioned, JSON-ready dict."""
+        data: dict = {"schema": RECORD_SCHEMA}
+        for name in _RECORD_FIELDS:
+            value = getattr(self, name)
+            if name == "attackers":
+                value = list(value)
+            data[name] = value
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: object) -> "TrialRecord":
+        """Decode one wire dict, strictly.
+
+        Unknown fields, missing fields, or a schema version this
+        reader does not speak all raise :class:`ReproError` — a record
+        that cannot be decoded faithfully must not be decoded at all.
+        """
+        if not isinstance(data, dict):
+            raise ReproError(f"trial record must be an object, not {data!r}")
+        schema = data.get("schema")
+        if schema != RECORD_SCHEMA:
+            raise ReproError(
+                f"trial record schema {schema!r} is not the supported "
+                f"schema {RECORD_SCHEMA}"
+            )
+        missing = [n for n in _RECORD_FIELDS if n not in data]
+        if missing:
+            raise ReproError(f"trial record missing fields {missing}")
+        unknown = sorted(set(data) - set(_RECORD_FIELDS) - {"schema"})
+        if unknown:
+            raise ReproError(f"trial record has unknown fields {unknown}")
+        def bad(name: str) -> ReproError:
+            return ReproError(
+                f"bad trial record value: {name}={data[name]!r}"
+            )
+
+        # Exact JSON types, no coercion: int("3"), bool("false"), or a
+        # string iterated as an attacker list would all decode to
+        # something the writer never meant.
+        def as_int(name: str) -> int:
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise bad(name)
+            return value
+
+        def as_float(name: str) -> float:
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise bad(name)
+            return float(value)
+
+        fraction = data["fraction"]
+        if not isinstance(data["cell"], str):
+            raise bad("cell")
+        if fraction is not None and (
+            isinstance(fraction, bool)
+            or not isinstance(fraction, (int, float))
+        ):
+            raise bad("fraction")
+        attackers = data["attackers"]
+        if isinstance(attackers, str) or not isinstance(
+            attackers, (list, tuple)
+        ):
+            raise bad("attackers")
+        for attacker in attackers:
+            if isinstance(attacker, bool) or not isinstance(
+                attacker, int
+            ):
+                raise bad("attackers")
+        if not isinstance(data["attack_route_filtered"], bool):
+            raise bad("attack_route_filtered")
+        return cls(
+            fraction_index=as_int("fraction_index"),
+            trial_index=as_int("trial_index"),
+            cell_index=as_int("cell_index"),
+            fraction=None if fraction is None else float(fraction),
+            cell=data["cell"],
+            victim=as_int("victim"),
+            attackers=tuple(attackers),
+            attacker_fraction=as_float("attacker_fraction"),
+            victim_fraction=as_float("victim_fraction"),
+            disconnected_fraction=as_float("disconnected_fraction"),
+            attack_route_filtered=data["attack_route_filtered"],
+        )
 
 
 def evaluate_trial(

@@ -41,6 +41,11 @@ from typing import Callable, Iterator, Optional, Sequence
 from ..bgp.fastprop import PropagationWorkspace
 from ..bgp.topology import AsTopology, CompiledTopology
 from ..netbase.errors import ReproError
+from ..results.sinks import (
+    ResultSink,
+    RunHeader,
+    check_header_compatible,
+)
 from .aggregate import ExperimentResult, aggregate_records, prefix_ci_width
 from .evaluate import TrialRecord, evaluate_trials
 from .spec import ExperimentSpec, TrialSpec, iter_trials
@@ -238,6 +243,20 @@ class ExperimentRunner:
         workers: pool size for ``"process"`` (default: CPU count).
         batch_size: trials per pool task (default: balance ~4 tasks
             per worker so stragglers do not serialize the tail).
+        sink: a :class:`~repro.results.sinks.ResultSink` that receives
+            the run header and every released record as it streams —
+            e.g. a :class:`~repro.results.sinks.JsonlSink` for a
+            durable run, or a :class:`~repro.results.sinks.TeeSink`
+            adding a live :class:`~repro.results.live.ServePublisher`.
+        resume_from: a sink holding an earlier, interrupted recording
+            of the *same* spec (commonly the same object as ``sink``).
+            Its header is verified against the spec's hash, its
+            complete trials are replayed instead of re-evaluated
+            (under ``"derived"`` seeding they are skipped outright;
+            under ``"stream"`` they are drawn but withheld, keeping
+            the RNG stream intact), and partially-recorded trials are
+            re-evaluated whole — so an interrupted-then-resumed run
+            produces a result byte-identical to an uninterrupted one.
 
     After a ``"process"`` run, :attr:`last_shared_segment` names the
     shared-memory segment the run used (``None`` if the blob-pickle
@@ -254,6 +273,8 @@ class ExperimentRunner:
         executor: str = "serial",
         workers: Optional[int] = None,
         batch_size: Optional[int] = None,
+        sink: Optional[ResultSink] = None,
+        resume_from: Optional[ResultSink] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ReproError(
@@ -268,7 +289,10 @@ class ExperimentRunner:
         self.executor = executor
         self.workers = workers or os.cpu_count() or 1
         self.batch_size = batch_size
+        self.sink = sink
+        self.resume_from = resume_from
         self.last_shared_segment: Optional[str] = None
+        self._header: Optional[RunHeader] = None
 
     # ------------------------------------------------------------------
     # Record streaming
@@ -285,9 +309,70 @@ class ExperimentRunner:
         process executor; the aggregator re-orders).
 
         Under ``spec.stopping == "ci"`` the stream carries exactly the
-        records of trials before each fraction's stop point.
+        records of trials before each fraction's stop point.  With
+        ``resume_from`` set, replayed records stream first; with
+        ``sink`` set, every streamed record is persisted as it passes.
         """
         return self._records(self._make_tracker())
+
+    def _load_resume(
+        self,
+    ) -> tuple[list[TrialRecord], frozenset[tuple[int, int]]]:
+        """The resume sink's replayable records and finished trials.
+
+        Only *complete* trials — every cell's record present — are
+        replayed and skipped; a trial the interrupted run recorded
+        partially is re-evaluated whole (its re-written records are
+        byte-identical, so durable files tolerate the duplication).
+        """
+        if self.resume_from is None:
+            return [], frozenset()
+        header, records = self.resume_from.resume_scan(self.spec)
+        if header is None:
+            return [], frozenset()
+        # The spec hash matched (resume_scan checked); the records must
+        # also come from *this* topology — trial outcomes are functions
+        # of (topology, spec, trial), so replaying another graph's
+        # records would silently mix incomparable worlds.
+        check_header_compatible(
+            header, self._run_header(), "resume source"
+        )
+        spec = self.spec
+        by_trial: dict[tuple[int, int], list[TrialRecord]] = {}
+        for record in records:
+            if not (
+                0 <= record.fraction_index < len(spec.fractions)
+                and 0 <= record.trial_index < spec.trials
+                and 0 <= record.cell_index < len(spec.cells)
+            ):
+                raise ReproError(
+                    f"resume record for cell {record.cell!r} addresses "
+                    f"grid coordinate ({record.fraction_index}, "
+                    f"{record.trial_index}, {record.cell_index}) "
+                    f"outside the spec"
+                )
+            by_trial.setdefault(
+                (record.fraction_index, record.trial_index), []
+            ).append(record)
+        finished = frozenset(
+            key
+            for key, cell_records in by_trial.items()
+            if len(cell_records) == len(spec.cells)
+        )
+        replay = [
+            record
+            for key in sorted(finished)
+            for record in sorted(
+                by_trial[key], key=lambda r: r.cell_index
+            )
+        ]
+        return replay, finished
+
+    def _run_header(self) -> RunHeader:
+        """This run's identity: spec hash plus topology digest."""
+        if self._header is None:
+            self._header = RunHeader.for_spec(self.spec, self.topology)
+        return self._header
 
     def _records(
         self, tracker: Optional["_StopTracker"]
@@ -295,21 +380,64 @@ class ExperimentRunner:
         """One run's record stream; all per-run state (stop tracker,
         shared-memory handle) lives in this generator, so overlapping
         or abandoned iterations cannot interfere with each other."""
+        replay, finished = self._load_resume()
+        sink = self.sink
+        if sink is not None:
+            sink.begin(self._run_header())
+        # Replayed records already live in the resume sink; re-write
+        # them only when the destination is a different sink.
+        rewrite_replay = sink is not None and sink is not self.resume_from
+
+        def wants(fraction_index: int, trial_index: int) -> bool:
+            if (fraction_index, trial_index) in finished:
+                return False
+            return tracker is None or tracker.wants_index(
+                fraction_index, trial_index
+            )
+
         trials = iter_trials(
             self.spec,
             self.topology,
-            wants=None if tracker is None else tracker.wants_index,
+            wants=(
+                wants if (finished or tracker is not None) else None
+            ),
         )
         if self.executor == "serial":
             raw = self._iter_serial(trials, tracker)
         else:
             raw = self._iter_process(trials, tracker)
+
+        def emit(record: TrialRecord) -> TrialRecord:
+            if sink is not None and (
+                rewrite_replay
+                or (record.fraction_index, record.trial_index)
+                not in finished
+            ):
+                sink.write(record)
+            return record
+
         if tracker is None:
-            yield from raw
-            return
-        for record in raw:
-            yield from tracker.observe(record)
-        tracker.flush_check()
+            for record in replay:
+                yield emit(record)
+            for record in raw:
+                yield emit(record)
+        else:
+            # Replay first: tracker decisions are pure functions of
+            # completed prefixes, so re-observing the recorded records
+            # reproduces the interrupted run's stopping state exactly.
+            for record in replay:
+                for released in tracker.observe(record):
+                    yield emit(released)
+            for record in raw:
+                for released in tracker.observe(record):
+                    yield emit(released)
+            tracker.flush_check()
+        if sink is not None:
+            sink.finish(
+                tracker.final_counts()
+                if tracker is not None
+                else (self.spec.trials,) * len(self.spec.fractions)
+            )
 
     def _iter_serial(
         self,

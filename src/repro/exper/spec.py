@@ -270,6 +270,21 @@ class ExperimentSpec:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_json_dict(), indent=indent)
 
+    def spec_hash(self) -> str:
+        """A stable digest of the whole spec (canonical JSON form).
+
+        Two specs share a hash exactly when their JSON round-trip
+        forms are identical; durable run records carry it so a sink
+        can refuse to mix records from different experiments (and
+        resume can refuse a mismatched spec).
+        """
+        canonical = json.dumps(
+            self.to_json_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.blake2b(
+            canonical.encode("utf-8"), digest_size=16
+        ).hexdigest()
+
     @classmethod
     def from_json_dict(cls, data: dict) -> "ExperimentSpec":
         try:

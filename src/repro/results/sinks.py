@@ -1,0 +1,489 @@
+"""Result sinks: where a run's trial records go as they happen.
+
+A :class:`ResultSink` receives the run header, then every released
+:class:`~repro.exper.evaluate.TrialRecord`, then the final per-fraction
+trial counts.  Implementations here:
+
+* :class:`MemorySink` — records in a list (tests, small runs).
+* :class:`JsonlSink` — the durable form: an append-only file of JSON
+  lines, one versioned record per line, with a header line carrying
+  the spec hash, seed, and engine.  Every write is flushed, so a
+  killed run loses at most the line being written — and the scanner
+  recovers from exactly that, dropping a truncated or corrupt *tail*
+  line while refusing silently-corrupt interiors.
+* :class:`TeeSink` — fan out one record stream to several sinks
+  (e.g. a durable file *and* a live serve-tier publisher).
+
+The JSONL file format, line by line::
+
+    {"kind": "repro.results/run", "schema": 1, "spec_hash": …,
+     "seed": …, "engine": …, "spec": {…full ExperimentSpec…}}
+    {"schema": 1, "fraction_index": 0, "trial_index": 0, …}
+    {"schema": 1, "fraction_index": 0, "trial_index": 0, …}
+    …
+
+Record lines may legitimately repeat a (fraction, trial, cell)
+coordinate with identical content — a resumed run re-evaluates trials
+whose records were only partially written — so readers deduplicate
+identical duplicates and reject conflicting ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..netbase.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover — typing only; runtime imports
+    # are deferred because repro.exper.aggregate imports this package.
+    from ..exper.evaluate import TrialRecord
+    from ..exper.spec import ExperimentSpec
+
+__all__ = [
+    "HEADER_SCHEMA",
+    "JsonlSink",
+    "MemorySink",
+    "ResultSink",
+    "RunHeader",
+    "TeeSink",
+    "check_header_compatible",
+    "read_run",
+    "topology_digest",
+]
+
+#: Version of the run-header line.  Distinct from the per-record
+#: schema so the two can evolve independently.
+HEADER_SCHEMA = 1
+
+_HEADER_KIND = "repro.results/run"
+
+
+def topology_digest(topology) -> str:
+    """A stable digest of an AS topology, via its compiled flat blob.
+
+    The spec deliberately does not name a topology (the same grid runs
+    on many graphs), so run records carry this digest instead: trial
+    outcomes are functions of (topology, spec, trial), and resuming or
+    merging records across *different* topologies would silently mix
+    incomparable worlds.
+    """
+    import hashlib
+
+    compiled = (
+        topology.compiled() if hasattr(topology, "compiled") else topology
+    )
+    return hashlib.blake2b(
+        bytes(compiled.to_blob()), digest_size=16
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunHeader:
+    """The first line of a durable run: what these records belong to.
+
+    ``spec_hash`` and ``topology_hash`` are the identity checks
+    (resume and merge refuse a mismatch on either); ``seed`` and
+    ``engine`` ride along for observability; ``spec`` is the full JSON
+    spec, so a run file alone suffices to re-aggregate — or resume —
+    the experiment.
+    """
+
+    spec_hash: str
+    seed: int
+    engine: str
+    spec: dict
+    topology_hash: Optional[str] = None
+
+    @classmethod
+    def for_spec(
+        cls, spec: "ExperimentSpec", topology=None
+    ) -> "RunHeader":
+        return cls(
+            spec_hash=spec.spec_hash(),
+            seed=spec.seed,
+            engine=spec.engine,
+            spec=spec.to_json_dict(),
+            topology_hash=(
+                None if topology is None else topology_digest(topology)
+            ),
+        )
+
+    def experiment_spec(self) -> "ExperimentSpec":
+        """Reconstruct the spec this run executed."""
+        from ..exper.spec import ExperimentSpec
+
+        return ExperimentSpec.from_json_dict(self.spec)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "kind": _HEADER_KIND,
+            "schema": HEADER_SCHEMA,
+            "spec_hash": self.spec_hash,
+            "seed": self.seed,
+            "engine": self.engine,
+            "spec": self.spec,
+            "topology_hash": self.topology_hash,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: object) -> "RunHeader":
+        if not isinstance(data, dict) or data.get("kind") != _HEADER_KIND:
+            raise ReproError(
+                f"not a {_HEADER_KIND} header: {str(data)[:80]!r}"
+            )
+        schema = data.get("schema")
+        if schema != HEADER_SCHEMA:
+            raise ReproError(
+                f"run header schema {schema!r} is not the supported "
+                f"schema {HEADER_SCHEMA}"
+            )
+        try:
+            topology_hash = data.get("topology_hash")
+            return cls(
+                spec_hash=str(data["spec_hash"]),
+                seed=int(data["seed"]),
+                engine=str(data["engine"]),
+                spec=dict(data["spec"]),
+                topology_hash=(
+                    None if topology_hash is None else str(topology_hash)
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"bad run header: {exc}") from None
+
+
+class ResultSink:
+    """The sink protocol: ``begin``, then ``write`` per record, then
+    ``finish`` — and ``close`` when the caller is done with it.
+
+    The base class is a usable null sink (every method a no-op except
+    resume, which only durable sinks support), so subclasses override
+    just what they need.
+    """
+
+    def begin(self, header: RunHeader) -> None:
+        """Start (or re-open) a run described by ``header``."""
+
+    def write(self, record: "TrialRecord") -> None:
+        """Persist one released record."""
+
+    def finish(self, trial_counts: Sequence[int]) -> None:
+        """The run completed with these per-fraction trial counts."""
+
+    def close(self) -> None:
+        """Release any resources; the sink is not used afterwards."""
+
+    def resume_scan(
+        self, spec: "ExperimentSpec"
+    ) -> Tuple[Optional[RunHeader], List["TrialRecord"]]:
+        """The sink's existing header and records, for resumption.
+
+        Returns ``(None, [])`` when the sink holds nothing yet; raises
+        when it holds records of a *different* spec, or when the sink
+        kind cannot resume at all (the base behaviour).
+        """
+        raise ReproError(
+            f"{type(self).__name__} does not support resuming a run"
+        )
+
+    def __enter__(self) -> "ResultSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _check_spec(
+    header: Optional[RunHeader], spec: "ExperimentSpec", where: str
+) -> None:
+    if header is not None and header.spec_hash != spec.spec_hash():
+        raise ReproError(
+            f"{where} holds records for spec hash {header.spec_hash}, "
+            f"not this spec's {spec.spec_hash()}"
+        )
+
+
+def check_header_compatible(
+    existing: RunHeader, header: RunHeader, where: str
+) -> None:
+    """Refuse to mix records of different specs — or topologies.
+
+    A missing topology hash on either side (a header built without a
+    topology in hand) is not a mismatch; two *different* digests are.
+    """
+    if existing.spec_hash != header.spec_hash:
+        raise ReproError(
+            f"{where} holds records for spec hash "
+            f"{existing.spec_hash}, not {header.spec_hash}"
+        )
+    if (
+        existing.topology_hash is not None
+        and header.topology_hash is not None
+        and existing.topology_hash != header.topology_hash
+    ):
+        raise ReproError(
+            f"{where} holds records for topology "
+            f"{existing.topology_hash}, not {header.topology_hash}"
+        )
+
+
+class MemorySink(ResultSink):
+    """Records in a list; supports resume (tests, in-process restarts)."""
+
+    def __init__(self) -> None:
+        self.header: Optional[RunHeader] = None
+        self.records: List["TrialRecord"] = []
+        self.trial_counts: Optional[Tuple[int, ...]] = None
+
+    def begin(self, header: RunHeader) -> None:
+        if self.header is not None:
+            check_header_compatible(self.header, header, "sink")
+        self.header = header
+
+    def write(self, record: "TrialRecord") -> None:
+        self.records.append(record)
+
+    def finish(self, trial_counts: Sequence[int]) -> None:
+        self.trial_counts = tuple(trial_counts)
+
+    def resume_scan(
+        self, spec: "ExperimentSpec"
+    ) -> Tuple[Optional[RunHeader], List["TrialRecord"]]:
+        _check_spec(self.header, spec, "sink")
+        return self.header, _dedupe(self.records, "sink")
+
+
+class TeeSink(ResultSink):
+    """Forward every call to each of several sinks, in order."""
+
+    def __init__(self, *sinks: ResultSink) -> None:
+        if not sinks:
+            raise ReproError("a TeeSink needs at least one sink")
+        self.sinks = tuple(sinks)
+
+    def begin(self, header: RunHeader) -> None:
+        for sink in self.sinks:
+            sink.begin(header)
+
+    def write(self, record: "TrialRecord") -> None:
+        for sink in self.sinks:
+            sink.write(record)
+
+    def finish(self, trial_counts: Sequence[int]) -> None:
+        for sink in self.sinks:
+            sink.finish(trial_counts)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class JsonlSink(ResultSink):
+    """Append-only, crash-safe JSONL persistence for one run.
+
+    ``begin`` on a fresh path writes the header line; on an existing
+    file it verifies the header's spec hash, truncates a partial tail
+    line left by a crash, and positions for append — so
+    ``JsonlSink(path)`` is both "start a run" and "continue one".
+    Every ``write`` is flushed to the OS; pass ``fsync=True`` to also
+    force each line to stable storage (slower, stronger).
+    """
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fh = None
+        self._header: Optional[RunHeader] = None
+        self._scanned: Optional[
+            Tuple[Optional[RunHeader], List["TrialRecord"], int]
+        ] = None
+
+    # -- scanning ------------------------------------------------------
+
+    def _scan(self) -> Tuple[Optional[RunHeader], List["TrialRecord"], int]:
+        if self._scanned is None:
+            self._scanned = _scan_file(self.path)
+        return self._scanned
+
+    def resume_scan(
+        self, spec: "ExperimentSpec"
+    ) -> Tuple[Optional[RunHeader], List["TrialRecord"]]:
+        if self._fh is not None:
+            raise ReproError(
+                f"cannot resume-scan {self.path}: sink already writing"
+            )
+        header, records, _ = self._scan()
+        _check_spec(header, spec, f"sink {self.path}")
+        return header, records
+
+    # -- the sink protocol ---------------------------------------------
+
+    def begin(self, header: RunHeader) -> None:
+        if self._fh is not None:
+            if self._header is not None:
+                check_header_compatible(
+                    self._header, header, f"sink {self.path}"
+                )
+            return
+        existing, _, data_end = self._scan()
+        if existing is not None:
+            check_header_compatible(
+                existing, header, f"sink {self.path}"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if existing is None:
+            self._fh = open(self.path, "wb")
+            self._fh.write(_encode_line(header.to_json_dict()))
+        else:
+            # Continue the existing file: drop the recovered-past tail
+            # (a partial final line) so the file stays clean JSONL.
+            self._fh = open(self.path, "r+b")
+            self._fh.seek(data_end)
+            self._fh.truncate()
+        self._header = header
+        self._flush()
+        self._scanned = None  # the file is live now; scans would lie
+
+    def write(self, record: "TrialRecord") -> None:
+        if self._fh is None:
+            raise ReproError(
+                f"sink {self.path} received a record before begin()"
+            )
+        self._fh.write(_encode_line(record.to_json_dict()))
+        self._flush()
+
+    def finish(self, trial_counts: Sequence[int]) -> None:
+        if self._fh is not None:
+            self._flush(force=True)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._scanned = None
+
+    def _flush(self, force: bool = False) -> None:
+        self._fh.flush()
+        if self.fsync or force:
+            os.fsync(self._fh.fileno())
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+
+def read_run(path: Union[str, Path]) -> Tuple[RunHeader, List["TrialRecord"]]:
+    """Load a durable run: its header and deduplicated records.
+
+    Tolerates (drops) a truncated or corrupt final line — the signature
+    a killed writer leaves — and raises :class:`ReproError` on a
+    missing/invalid header, corruption anywhere else, or conflicting
+    duplicate records.
+    """
+    path = Path(path)
+    header, records, _ = _scan_file(path)
+    if header is None:
+        raise ReproError(f"{path} is not a results run file (no header)")
+    return header, records
+
+
+def _encode_line(data: dict) -> bytes:
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8") + b"\n"
+
+
+def _dedupe(
+    records: Iterable["TrialRecord"], where: str
+) -> List["TrialRecord"]:
+    """Drop identical duplicates, reject conflicting ones, sort."""
+    seen: Dict[Tuple[int, int, int], "TrialRecord"] = {}
+    for record in records:
+        key = record.sort_key
+        known = seen.get(key)
+        if known is None:
+            seen[key] = record
+        elif known != record:
+            raise ReproError(
+                f"{where} has conflicting records for fraction index "
+                f"{key[0]}, trial {key[1]}, cell {record.cell!r}"
+            )
+    return [seen[key] for key in sorted(seen)]
+
+
+def _scan_file(
+    path: Path,
+) -> Tuple[Optional[RunHeader], List["TrialRecord"], int]:
+    """Parse a run file with tail recovery.
+
+    Returns ``(header, records, data_end)`` where ``data_end`` is the
+    byte offset just past the last intact line — the truncation point
+    a resuming writer appends from.  A missing or empty file (or one
+    holding only a partial header line) is ``(None, [], 0)``.
+    """
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return None, [], 0
+    if not data:
+        return None, [], 0
+
+    lines: List[Tuple[int, bytes, bool]] = []  # (start, line, terminated)
+    start = 0
+    while start < len(data):
+        end = data.find(b"\n", start)
+        if end < 0:
+            lines.append((start, data[start:], False))
+            break
+        lines.append((start, data[start:end], True))
+        start = end + 1
+
+    from ..exper.evaluate import TrialRecord
+
+    def parse(index: int, line: bytes, what: str) -> object:
+        try:
+            return json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ReproError(
+                f"{path}: corrupt {what} at line {index + 1}: {exc}"
+            ) from None
+
+    first_start, first_line, first_done = lines[0]
+    if not first_done:
+        return None, [], 0  # crash mid-header: nothing durable yet
+    header = RunHeader.from_json_dict(parse(0, first_line, "run header"))
+    data_end = first_start + len(first_line) + 1
+
+    records: List["TrialRecord"] = []
+    for index, (line_start, line, terminated) in enumerate(
+        lines[1:], start=1
+    ):
+        is_tail = index == len(lines) - 1
+        if not terminated:
+            break  # partial tail: recovered by truncation
+        try:
+            records.append(
+                TrialRecord.from_json_dict(
+                    parse(index, line, "trial record")
+                )
+            )
+        except ReproError:
+            if is_tail:
+                break  # corrupt tail line: recovered by truncation
+            raise
+        data_end = line_start + len(line) + 1
+    return header, _dedupe(records, str(path)), data_end

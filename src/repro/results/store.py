@@ -1,0 +1,216 @@
+"""A directory of durable runs, and operations across them.
+
+The layout is deliberately boring — one JSONL run file per run id
+under one root::
+
+    results/
+        baseline.jsonl
+        shard-0.jsonl
+        shard-1.jsonl
+        merged.jsonl
+
+which is exactly what a sharded executor needs: every shard appends
+its own run file (same spec, disjoint trials), and
+:func:`merge_runs` unions them into one run that aggregates as if a
+single machine had produced it.  :func:`run_result` turns any run
+file — complete, early-stopped, or interrupted mid-flight — into the
+:class:`~repro.exper.aggregate.ExperimentResult` over its completed
+trial prefix.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..netbase.errors import ReproError
+from .sinks import (
+    RunHeader,
+    _dedupe,
+    _encode_line,
+    check_header_compatible,
+    read_run,
+)
+
+if TYPE_CHECKING:  # pragma: no cover — typing only (import-cycle care)
+    from ..exper.aggregate import ExperimentResult
+    from ..exper.evaluate import TrialRecord
+
+__all__ = ["ResultsStore", "merge_runs", "run_result"]
+
+_RUN_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class ResultsStore:
+    """Runs as files: ``<root>/<run_id>.jsonl``."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path(self, run_id: str) -> Path:
+        """The run's file path; the id must be filesystem-plain."""
+        if not _RUN_ID.match(run_id):
+            raise ReproError(
+                f"bad run id {run_id!r}: use letters, digits, '.', "
+                f"'_', '-'"
+            )
+        return self.root / f"{run_id}.jsonl"
+
+    def sink(self, run_id: str, *, fsync: bool = False):
+        """A :class:`~repro.results.sinks.JsonlSink` for this run."""
+        from .sinks import JsonlSink
+
+        self.root.mkdir(parents=True, exist_ok=True)
+        return JsonlSink(self.path(run_id), fsync=fsync)
+
+    def run_ids(self) -> List[str]:
+        """Every run in the store, sorted by id."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path.stem for path in self.root.glob("*.jsonl")
+        )
+
+    def read(self, run_id: str) -> Tuple[RunHeader, List["TrialRecord"]]:
+        return read_run(self.path(run_id))
+
+    def merge(
+        self, out_id: str, run_ids: Sequence[str]
+    ) -> Tuple[RunHeader, int]:
+        """Union several of this store's runs into a new run."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        return merge_runs(
+            self.path(out_id), [self.path(run_id) for run_id in run_ids]
+        )
+
+
+def merge_runs(
+    out_path: Union[str, Path],
+    in_paths: Iterable[Union[str, Path]],
+) -> Tuple[RunHeader, int]:
+    """Union shard-partial runs of one spec into a single run file.
+
+    Every input must carry the same spec hash (and, when recorded, the
+    same topology digest); records present in several inputs must be
+    identical (they are re-evaluations of the same deterministic
+    trial) and are written once.  The output is deterministic: header,
+    then records sorted by grid coordinate — merging the same shards
+    always produces the same bytes.
+    """
+    paths = [Path(p) for p in in_paths]
+    if not paths:
+        raise ReproError("merge needs at least one input run")
+    header: Optional[RunHeader] = None
+    pooled: List["TrialRecord"] = []
+    for path in paths:
+        run_header, records = read_run(path)
+        if header is None:
+            header = run_header
+        else:
+            check_header_compatible(run_header, header, str(path))
+        pooled.extend(records)
+    merged = _dedupe(pooled, "merge input")
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(out_path, "wb") as fh:
+        fh.write(_encode_line(header.to_json_dict()))
+        for record in merged:
+            fh.write(_encode_line(record.to_json_dict()))
+    return header, len(merged)
+
+
+def run_result(
+    header: RunHeader,
+    records: Sequence["TrialRecord"],
+    *,
+    bootstrap_resamples: int = 1000,
+    confidence: float = 0.95,
+) -> Tuple["ExperimentResult", int]:
+    """Aggregate a run's records over their completed trial prefix.
+
+    For a finished run this is exactly the runner's result.  For an
+    interrupted or shard-partial run, each fraction aggregates the
+    trials that are *consecutively complete from zero* (every cell
+    present); records past that prefix — partial trials, or shard
+    gaps — are dropped and counted in the returned ``dropped``.
+    Fractions execute in order, so a run killed mid-grid leaves later
+    fractions without any complete trial: those trailing fractions are
+    omitted from the result (their stray records count as dropped),
+    and only a run with *no* complete trial at all is an error.  The
+    per-cell statistics of the fractions that are reported — bootstrap
+    CIs included — are identical to a full run's, because fraction
+    indices (which seed the bootstrap) are preserved by truncation.
+    """
+    # Imported here: repro.exper.aggregate itself streams through
+    # repro.results.accumulate, so a module-level import would cycle.
+    import dataclasses
+
+    from ..exper.aggregate import aggregate_records
+
+    spec = header.experiment_spec()
+    cells = len(spec.cells)
+    present = [
+        [set() for _ in range(cells)] for _ in spec.fractions
+    ]
+    for record in records:
+        if not (
+            0 <= record.fraction_index < len(spec.fractions)
+            and 0 <= record.cell_index < cells
+        ):
+            raise ReproError(
+                f"record for cell {record.cell!r} addresses grid "
+                f"coordinate ({record.fraction_index}, "
+                f"{record.cell_index}) outside the spec"
+            )
+        present[record.fraction_index][record.cell_index].add(
+            record.trial_index
+        )
+    counts = []
+    for fraction_index in range(len(spec.fractions)):
+        count = 0
+        while count < spec.trials and all(
+            count in cell for cell in present[fraction_index]
+        ):
+            count += 1
+        counts.append(count)
+    # Keep the leading fractions that completed at least one trial;
+    # a complete trial *after* an empty fraction would mean the run
+    # did not execute fractions in order — refuse to guess.
+    live = len(counts)
+    while live and counts[live - 1] == 0:
+        live -= 1
+    if live == 0:
+        raise ReproError("no complete trials for fraction index 0")
+    for fraction_index in range(live):
+        if counts[fraction_index] == 0:
+            raise ReproError(
+                f"no complete trials for fraction index {fraction_index}"
+            )
+    view = spec
+    if live < len(spec.fractions):
+        view = dataclasses.replace(
+            spec, fractions=spec.fractions[:live]
+        )
+    kept = [
+        record
+        for record in records
+        if record.fraction_index < live
+        and record.trial_index < counts[record.fraction_index]
+    ]
+    result = aggregate_records(
+        view,
+        kept,
+        bootstrap_resamples=bootstrap_resamples,
+        confidence=confidence,
+        expected_trials=counts[:live],
+    )
+    return result, len(records) - len(kept)

@@ -12,6 +12,10 @@ Endpoints:
   ...}, ...]}`` in, ``{"results": [...]}`` out.
 * ``GET /metrics`` — the shared :class:`ServeMetrics` snapshot.
 * ``GET /status`` — VRP count and snapshot serial.
+* ``GET /experiments`` — live + archived experiment runs known to the
+  attached :class:`~repro.results.live.RunRegistry` (summaries).
+* ``GET /experiments/<run>`` — one run's streaming per-cell stats,
+  updated record by record while the run executes.
 
 Malformed input gets a 400 with a JSON error body; unknown paths 404.
 """
@@ -20,13 +24,16 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, List, Optional, Set, Tuple
-from urllib.parse import parse_qs, urlsplit
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from ..netbase import Prefix
 from ..netbase.errors import ReproError
 from .metrics import ServeMetrics, ensure_metrics
 from .query import QueryService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..results.live import RunRegistry
 
 __all__ = ["QueryHttpServer", "HttpRequestError"]
 
@@ -46,7 +53,14 @@ class HttpRequestError(ReproError):
 
 
 class QueryHttpServer:
-    """Serve origin-validation queries over HTTP/JSON."""
+    """Serve origin-validation queries — and live experiment results —
+    over HTTP/JSON.
+
+    ``runs`` is the :class:`~repro.results.live.RunRegistry` behind
+    the ``/experiments`` endpoints; omit it and the server answers
+    them from a fresh, empty registry (publish into ``server.runs``
+    to make runs appear).
+    """
 
     def __init__(
         self,
@@ -55,10 +69,18 @@ class QueryHttpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         metrics: Optional[ServeMetrics] = None,
+        runs: Optional["RunRegistry"] = None,
     ) -> None:
         self.service = service
         self.metrics = ensure_metrics(
             metrics if metrics is not None else service.metrics)
+        if runs is None:
+            # Imported lazily: the registry rides on repro.results /
+            # repro.exper, which pure query serving should not load.
+            from ..results.live import RunRegistry
+
+            runs = RunRegistry()
+        self.runs = runs
         self._requested = (host, port)
         self.host = host
         self.port = port
@@ -209,9 +231,28 @@ class QueryHttpServer:
                 "vrps": len(self.service),
                 "serial": self.service.serial,
             }
+        if url.path == "/experiments" or url.path.startswith(
+            "/experiments/"
+        ):
+            if method != "GET":
+                return 405, {
+                    "error": f"{method} not allowed on {url.path}"
+                }
+            return self._experiments(url.path)
         if url.path in ("/validity", "/metrics", "/status"):
             return 405, {"error": f"{method} not allowed on {url.path}"}
         return 404, {"error": f"no such endpoint {url.path}"}
+
+    def _experiments(self, path: str) -> Tuple[int, Dict[str, object]]:
+        """The live-results endpoints, backed by the run registry."""
+        self.metrics.increment("experiment_requests")
+        if path == "/experiments":
+            return 200, {"runs": self.runs.list_runs()}
+        run_id = unquote(path[len("/experiments/"):])
+        snapshot = self.runs.snapshot(run_id)
+        if snapshot is None:
+            return 404, {"error": f"no experiment run named {run_id!r}"}
+        return 200, snapshot
 
     def _single_query(self, params: Dict[str, List[str]]) -> Dict[str, object]:
         asn, prefix = _parse_pair(

@@ -81,6 +81,9 @@ class ServeMetrics:
     * ``frame_hits``        — frames served straight from cache.
     * ``pdus_sent`` / ``bytes_sent`` — wire volume toward routers.
     * ``queries`` — ``validity()`` calls answered (HTTP or in-process).
+    * ``experiment_requests`` — ``/experiments`` endpoint hits.
+    * ``records_published`` — trial records streamed into the live
+      run registry by :class:`~repro.results.live.ServePublisher`.
     """
 
     _COUNTERS = (
@@ -98,6 +101,8 @@ class ServeMetrics:
         "batch_queries",
         "http_requests",
         "http_errors",
+        "experiment_requests",
+        "records_published",
     )
 
     def __init__(self) -> None:

@@ -33,6 +33,7 @@ from repro.exper import ExperimentSpec
 REPO = Path(__file__).resolve().parent.parent
 DOCS = REPO / "docs"
 EXPERIMENTS_DOC = DOCS / "experiments.md"
+RESULTS_DOC = DOCS / "results.md"
 
 _FENCE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -42,12 +43,14 @@ def _fenced_blocks(text: str) -> list[tuple[str, str]]:
     return [(m.group(1), m.group(2)) for m in _FENCE.finditer(text)]
 
 
-def _doc_commands() -> list[tuple[str, str | None]]:
+def _doc_commands(
+    doc: Path = EXPERIMENTS_DOC,
+) -> list[tuple[str, str | None]]:
     """(command, nearest preceding json block) pairs, in document order."""
     latest_json: str | None = None
     commands: list[tuple[str, str | None]] = []
     for language, body in _fenced_blocks(
-        EXPERIMENTS_DOC.read_text(encoding="utf-8")
+        doc.read_text(encoding="utf-8")
     ):
         if language == "json":
             latest_json = body
@@ -133,9 +136,46 @@ class TestExperimentDocExamples:
         )
 
 
+class TestResultsDocExamples:
+    """docs/results.md commands form one record/resume/merge session:
+    they run in order, sharing a working directory, so later commands
+    (resume, show, merge) see the run files earlier ones recorded."""
+
+    def test_doc_has_commands_at_all(self):
+        assert _doc_commands(RESULTS_DOC), (
+            "results.md lost its repro-roa commands"
+        )
+
+    def test_commands_run_in_sequence(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (str(REPO / "src"), env.get("PYTHONPATH"))
+            if part
+        )
+        for command, _ in _doc_commands(RESULTS_DOC):
+            argv = shlex.split(command)
+            assert argv[0] == "repro-roa"
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.cli", *argv[1:]],
+                cwd=tmp_path,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert completed.returncode == 0, (
+                f"{command!r} exited {completed.returncode}:\n"
+                f"{completed.stderr}"
+            )
+
+
 class TestDocsTree:
     def test_pages_exist(self):
-        for name in ("architecture.md", "experiments.md", "serving.md"):
+        for name in (
+            "architecture.md", "experiments.md", "serving.md",
+            "results.md",
+        ):
             assert (DOCS / name).is_file(), f"docs/{name} missing"
         assert (REPO / "README.md").is_file()
 
@@ -156,7 +196,9 @@ class TestDocsTree:
 class TestDocstringPolicy:
     """New public surface in the scaled subsystems must be documented."""
 
-    @pytest.mark.parametrize("package_name", ["repro.exper", "repro.serve"])
+    @pytest.mark.parametrize(
+        "package_name", ["repro.exper", "repro.serve", "repro.results"]
+    )
     def test_public_symbols_have_docstrings(self, package_name):
         package = importlib.import_module(package_name)
         modules = [package]

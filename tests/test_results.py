@@ -1,0 +1,813 @@
+"""repro.results: durable, streaming, resumable run records.
+
+The contracts pinned here:
+
+* the TrialRecord wire schema is versioned and strict — unknown,
+  missing, or wrong-schema fields raise instead of silently dropping;
+* a JsonlSink survives being killed mid-write: a truncated or corrupt
+  tail line is recovered, corruption anywhere else refuses loudly;
+* an interrupted-then-resumed run is byte-identical to an
+  uninterrupted one — aggregates and trial counts — under serial and
+  process executors, both seeding disciplines, and early stopping;
+* merge_runs unions shard-partial runs of one spec into the same
+  result a single machine would have produced;
+* the serve tier answers /experiments with live per-cell stats while
+  a run is still streaming records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import statistics
+
+import pytest
+
+from repro.data import TopologyProfile, generate_topology
+from repro.exper import (
+    ExperimentRunner,
+    ExperimentSpec,
+    MaxLengthLooseRoa,
+    MinimalRoa,
+    ScenarioCell,
+    TrialRecord,
+)
+from repro.netbase import Prefix
+from repro.netbase.errors import ReproError
+from repro.results import (
+    GridAccumulator,
+    JsonlSink,
+    MemorySink,
+    ResultsStore,
+    RunHeader,
+    RunRegistry,
+    TeeSink,
+    merge_runs,
+    read_run,
+    run_result,
+)
+from repro.rpki import Vrp
+from repro.serve import QueryHttpServer, QueryService, ServeMetrics
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return generate_topology(TopologyProfile(ases=150), random.Random(9))
+
+
+def small_spec(**kwargs) -> ExperimentSpec:
+    defaults = dict(
+        cells=(
+            ScenarioCell("forged-origin-subprefix", MinimalRoa()),
+            ScenarioCell("forged-origin-subprefix", MaxLengthLooseRoa()),
+        ),
+        trials=6,
+        seed=4,
+        fractions=(None, 0.5),
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+def record_lines(path) -> list[bytes]:
+    """The run file's lines (header first), newline-terminated."""
+    return path.read_bytes().splitlines(keepends=True)
+
+
+def run_full(topology, spec, path):
+    """An uninterrupted recorded run; returns (result, file lines)."""
+    sink = JsonlSink(path)
+    result = ExperimentRunner(topology, spec, sink=sink).run()
+    sink.close()
+    return result, record_lines(path)
+
+
+# ----------------------------------------------------------------------
+# The versioned wire schema
+# ----------------------------------------------------------------------
+
+
+def sample_record(**overrides) -> TrialRecord:
+    data = dict(
+        fraction_index=0, trial_index=3, cell_index=1, fraction=0.5,
+        cell="forged-origin-subprefix/minimal", victim=111,
+        attackers=(666,), attacker_fraction=0.25, victim_fraction=0.5,
+        disconnected_fraction=0.25, attack_route_filtered=False,
+    )
+    data.update(overrides)
+    return TrialRecord(**data)
+
+
+class TestRecordWireSchema:
+    def test_round_trip(self):
+        record = sample_record()
+        wire = record.to_json_dict()
+        assert wire["schema"] == 1
+        assert TrialRecord.from_json_dict(wire) == record
+        # ...and through actual JSON text.
+        assert TrialRecord.from_json_dict(
+            json.loads(json.dumps(wire))
+        ) == record
+
+    def test_universal_fraction_round_trips(self):
+        record = sample_record(fraction=None, fraction_index=0)
+        assert TrialRecord.from_json_dict(record.to_json_dict()) == record
+
+    def test_missing_field_rejected(self):
+        wire = sample_record().to_json_dict()
+        del wire["victim"]
+        with pytest.raises(ReproError, match="missing fields.*victim"):
+            TrialRecord.from_json_dict(wire)
+
+    def test_unknown_field_rejected(self):
+        wire = sample_record().to_json_dict()
+        wire["surprise"] = 1
+        with pytest.raises(ReproError, match="unknown fields.*surprise"):
+            TrialRecord.from_json_dict(wire)
+
+    def test_wrong_schema_rejected(self):
+        wire = sample_record().to_json_dict()
+        wire["schema"] = 2
+        with pytest.raises(ReproError, match="schema 2"):
+            TrialRecord.from_json_dict(wire)
+        del wire["schema"]
+        with pytest.raises(ReproError, match="schema None"):
+            TrialRecord.from_json_dict(wire)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReproError, match="must be an object"):
+            TrialRecord.from_json_dict([1, 2])
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("victim", "not-a-number"),
+            ("victim", True),
+            ("trial_index", 3.5),
+            ("attackers", "12"),  # a string must not iterate to (1, 2)
+            ("attackers", [1, "2"]),
+            ("attack_route_filtered", "false"),  # bool("false") is True
+            ("attacker_fraction", "0.5"),
+            ("fraction", "0.5"),
+            ("cell", 7),
+        ],
+    )
+    def test_bad_value_rejected(self, field, value):
+        wire = sample_record().to_json_dict()
+        wire[field] = value
+        with pytest.raises(ReproError, match="bad trial record value"):
+            TrialRecord.from_json_dict(wire)
+
+
+class TestRunHeader:
+    def test_round_trip_and_spec_reconstruction(self):
+        spec = small_spec()
+        header = RunHeader.for_spec(spec)
+        again = RunHeader.from_json_dict(header.to_json_dict())
+        assert again == header
+        assert again.experiment_spec() == spec
+        assert again.spec_hash == spec.spec_hash()
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError, match="not a repro.results/run"):
+            RunHeader.from_json_dict({"kind": "something-else"})
+
+    def test_spec_hash_tracks_spec_changes(self):
+        a, b = small_spec(), small_spec(seed=5)
+        assert a.spec_hash() != b.spec_hash()
+        assert a.spec_hash() == small_spec().spec_hash()
+
+
+# ----------------------------------------------------------------------
+# JSONL durability edges
+# ----------------------------------------------------------------------
+
+
+class TestJsonlDurability:
+    def test_round_trip(self, topology, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        result, lines = run_full(topology, spec, path)
+        header, records = read_run(path)
+        assert header == RunHeader.for_spec(spec, topology)
+        assert header.topology_hash is not None
+        assert len(records) == spec.total_trials * len(spec.cells)
+        assert len(lines) == 1 + len(records)
+        # Sorted, deduplicated, fully typed records.
+        assert records == sorted(records, key=lambda r: r.sort_key)
+
+    def test_truncated_tail_recovered(self, topology, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, lines = run_full(topology, small_spec(), path)
+        path.write_bytes(b"".join(lines[:5]) + lines[5][:11])
+        header, records = read_run(path)
+        assert header is not None
+        assert len(records) == 4
+
+    def test_corrupt_terminated_tail_recovered(self, topology, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, lines = run_full(topology, small_spec(), path)
+        path.write_bytes(b"".join(lines[:5]) + b'{"schema": 1, garbage\n')
+        _, records = read_run(path)
+        assert len(records) == 4
+
+    def test_corrupt_interior_rejected(self, topology, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, lines = run_full(topology, small_spec(), path)
+        lines[3] = b"not json at all\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(ReproError, match="corrupt trial record"):
+            read_run(path)
+
+    def test_interior_schema_violation_rejected(self, topology, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, lines = run_full(topology, small_spec(), path)
+        doctored = json.loads(lines[3])
+        doctored["surprise"] = True
+        lines[3] = json.dumps(doctored).encode() + b"\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(ReproError, match="unknown fields"):
+            read_run(path)
+
+    def test_partial_header_is_empty_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_bytes(b'{"kind": "repro.results/run", "sch')
+        assert JsonlSink(path).resume_scan(small_spec()) == (None, [])
+        with pytest.raises(ReproError, match="no header"):
+            read_run(path)
+
+    def test_non_run_file_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(ReproError, match="not a repro.results/run"):
+            read_run(path)
+
+    def test_identical_duplicates_deduplicated(self, topology, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, lines = run_full(topology, small_spec(), path)
+        path.write_bytes(b"".join(lines) + lines[1])
+        _, records = read_run(path)
+        assert len(records) == len(lines) - 1
+
+    def test_conflicting_duplicate_rejected(self, topology, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, lines = run_full(topology, small_spec(), path)
+        doctored = json.loads(lines[1])
+        doctored["attacker_fraction"] = 0.123456
+        path.write_bytes(
+            b"".join(lines) + json.dumps(doctored).encode() + b"\n"
+        )
+        with pytest.raises(ReproError, match="conflicting records"):
+            read_run(path)
+
+    def test_begin_rejects_other_specs_file(self, topology, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_full(topology, small_spec(), path)
+        sink = JsonlSink(path)
+        other = small_spec(seed=99)
+        with pytest.raises(ReproError, match="spec hash"):
+            sink.begin(RunHeader.for_spec(other))
+        with pytest.raises(ReproError, match="spec hash"):
+            JsonlSink(path).resume_scan(other)
+
+
+# ----------------------------------------------------------------------
+# Resume
+# ----------------------------------------------------------------------
+
+
+def interrupt(path, lines, keep, partial_tail=True):
+    """Rewrite the run file as a killed writer would have left it."""
+    data = b"".join(lines[:keep])
+    if partial_tail and keep < len(lines):
+        data += lines[keep][: len(lines[keep]) // 2]
+    path.write_bytes(data)
+
+
+class TestResume:
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    @pytest.mark.parametrize("seeding", ["derived", "stream"])
+    def test_interrupted_run_resumes_byte_identical(
+        self, topology, tmp_path, executor, seeding
+    ):
+        spec = small_spec(seeding=seeding)
+        full_path = tmp_path / "full.jsonl"
+        full, lines = run_full(topology, spec, full_path)
+
+        part = tmp_path / "part.jsonl"
+        interrupt(part, lines, keep=8)
+        sink = JsonlSink(part)
+        resumed = ExperimentRunner(
+            topology, spec, executor=executor, workers=2,
+            sink=sink, resume_from=sink,
+        ).run()
+        sink.close()
+        assert resumed == full
+        assert read_run(part) == read_run(full_path)
+
+    def test_finished_trials_not_reevaluated(
+        self, topology, tmp_path, monkeypatch
+    ):
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        _, lines = run_full(topology, spec, path)
+        cells = len(spec.cells)
+        # Keep 7 complete records: 3 finished trials + 1 partial.
+        interrupt(path, lines, keep=1 + 3 * cells + 1, partial_tail=False)
+
+        evaluated = []
+        import repro.exper.runner as runner_module
+
+        real = runner_module.evaluate_trials
+
+        def spy(topology, spec, trials, **kwargs):
+            def watched():
+                for trial in trials:
+                    evaluated.append(
+                        (trial.fraction_index, trial.trial_index)
+                    )
+                    yield trial
+            return real(topology, spec, watched(), **kwargs)
+
+        monkeypatch.setattr(runner_module, "evaluate_trials", spy)
+        sink = JsonlSink(path)
+        ExperimentRunner(
+            topology, spec, sink=sink, resume_from=sink
+        ).run()
+        sink.close()
+        assert (0, 0) not in evaluated
+        assert (0, 1) not in evaluated
+        assert (0, 2) not in evaluated
+        # The partially recorded trial 3 re-evaluates whole.
+        assert (0, 3) in evaluated
+        assert len(evaluated) == spec.total_trials - 3
+
+    def test_resume_with_early_stopping(self, topology, tmp_path):
+        spec = small_spec(
+            trials=30, engine="array", stopping="ci",
+            stop_ci_width=0.5, stop_min_trials=4, stop_check_every=2,
+        )
+        full_path = tmp_path / "full.jsonl"
+        full, lines = run_full(topology, spec, full_path)
+        assert any(c < spec.trials for c in full.trial_counts)
+
+        part = tmp_path / "part.jsonl"
+        interrupt(part, lines, keep=6)
+        sink = JsonlSink(part)
+        resumed = ExperimentRunner(
+            topology, spec, sink=sink, resume_from=sink
+        ).run()
+        sink.close()
+        assert resumed == full
+        assert read_run(part) == read_run(full_path)
+
+    def test_resume_of_complete_run_replays_everything(
+        self, topology, tmp_path
+    ):
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        full, _ = run_full(topology, spec, path)
+        sink = JsonlSink(path)
+        resumed = ExperimentRunner(
+            topology, spec, sink=sink, resume_from=sink
+        ).run()
+        sink.close()
+        assert resumed == full
+
+    def test_shm_cleaned_up_when_resume_finishes_early(
+        self, topology, tmp_path
+    ):
+        """A process-executor resume with nothing left to evaluate
+        still unlinks its shared topology segment."""
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        full, _ = run_full(topology, spec, path)
+        sink = JsonlSink(path)
+        runner = ExperimentRunner(
+            topology, spec, executor="process", workers=2,
+            sink=sink, resume_from=sink,
+        )
+        assert runner.run() == full
+        sink.close()
+        name = runner.last_shared_segment
+        if name is not None:
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_resume_into_fresh_tee_rewrites_replay(
+        self, topology, tmp_path
+    ):
+        """Resuming into a *different* sink must rewrite the replayed
+        records, so the new recording is complete on its own."""
+        spec = small_spec()
+        source_path = tmp_path / "source.jsonl"
+        full, lines = run_full(topology, spec, source_path)
+        interrupt(source_path, lines, keep=8)
+
+        source = JsonlSink(source_path)
+        copy = MemorySink()
+        resumed = ExperimentRunner(
+            topology, spec, sink=copy, resume_from=source
+        ).run()
+        assert resumed == full
+        # The new sink received every record — replayed and fresh —
+        # while the resume source was only read, never appended to.
+        assert sorted(copy.records, key=lambda r: r.sort_key) == sorted(
+            ExperimentRunner(topology, spec).iter_records(),
+            key=lambda r: r.sort_key,
+        )
+        assert len(read_run(source_path)[1]) == 7
+        assert copy.trial_counts == full.trial_counts
+
+    def test_memory_sink_resume(self, topology):
+        spec = small_spec()
+        full = ExperimentRunner(topology, spec).run()
+        sink = MemorySink()
+        first = ExperimentRunner(topology, spec, sink=sink)
+        records = first.iter_records()
+        for _ in range(7):
+            next(records)
+        records.close()  # "crash" mid-run
+        resumed = ExperimentRunner(
+            topology, spec, sink=sink, resume_from=sink
+        ).run()
+        assert resumed == full
+
+    def test_resume_rejects_different_topology(self, tmp_path):
+        spec = small_spec()
+        a = generate_topology(TopologyProfile(ases=130), random.Random(1))
+        b = generate_topology(TopologyProfile(ases=170), random.Random(2))
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        ExperimentRunner(a, spec, sink=sink).run()
+        sink.close()
+        sink = JsonlSink(path)
+        with pytest.raises(ReproError, match="topology"):
+            ExperimentRunner(
+                b, spec, sink=sink, resume_from=sink
+            ).run()
+
+    def test_resume_rejects_mismatched_spec(self, topology, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_full(topology, small_spec(), path)
+        sink = JsonlSink(path)
+        other = small_spec(trials=7)
+        with pytest.raises(ReproError, match="spec hash"):
+            ExperimentRunner(
+                topology, other, sink=sink, resume_from=sink
+            ).run()
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    @pytest.mark.parametrize("golden", ["hijack", "deployment"])
+    def test_golden_specs_resume_byte_identical(
+        self, topology, tmp_path, golden, executor
+    ):
+        """The PR 2/PR 3 golden specs, interrupted and resumed:
+        aggregates and trial_counts match the uninterrupted run."""
+        import dataclasses
+
+        from repro.analysis.deployment import deployment_sweep_spec
+        from repro.analysis.hijack_eval import hijack_study_spec
+
+        if golden == "hijack":
+            spec = hijack_study_spec(samples=5, seed=42, engine="array")
+        else:
+            spec = dataclasses.replace(
+                deployment_sweep_spec(
+                    fractions=(0.5,), samples=3, seed=9
+                ),
+                engine="array",
+            )
+        full_path = tmp_path / "full.jsonl"
+        full, lines = run_full(topology, spec, full_path)
+        part = tmp_path / "part.jsonl"
+        interrupt(part, lines, keep=1 + (len(lines) - 1) // 2)
+        sink = JsonlSink(part)
+        resumed = ExperimentRunner(
+            topology, spec, executor=executor, workers=2,
+            sink=sink, resume_from=sink,
+        ).run()
+        sink.close()
+        assert resumed == full
+        assert resumed.trial_counts == full.trial_counts
+        assert read_run(part) == read_run(full_path)
+
+    def test_plain_sink_does_not_support_resume(self, topology):
+        from repro.results import ResultSink
+
+        with pytest.raises(ReproError, match="does not support resuming"):
+            ExperimentRunner(
+                topology, small_spec(), resume_from=ResultSink()
+            ).run()
+
+
+# ----------------------------------------------------------------------
+# Accumulators
+# ----------------------------------------------------------------------
+
+
+class TestAccumulators:
+    def test_live_snapshot_matches_exact_statistics(self, topology):
+        spec = small_spec()
+        grid = GridAccumulator(spec)
+        values = {}
+        for record in ExperimentRunner(topology, spec).iter_records():
+            grid.add(record)
+            values.setdefault(
+                (record.fraction_index, record.cell_index), []
+            ).append(record.attacker_fraction)
+        for (f, c), cell_values in values.items():
+            snapshot = grid.cell(f, c).live_snapshot()
+            assert snapshot["trials"] == len(cell_values)
+            assert snapshot["mean"] == pytest.approx(
+                statistics.mean(cell_values)
+            )
+            assert snapshot["stdev"] == pytest.approx(
+                statistics.stdev(cell_values)
+            )
+
+    def test_merge_unions_disjoint_and_identical(self, topology):
+        spec = small_spec()
+        records = list(ExperimentRunner(topology, spec).iter_records())
+        left, right = GridAccumulator(spec), GridAccumulator(spec)
+        for index, record in enumerate(records):
+            # Overlapping halves: every record lands in at least one.
+            if index % 2 == 0 or index % 3 == 0:
+                left.add(record)
+            if index % 2 == 1 or index % 3 == 0:
+                right.add(record)
+        left.merge(right)
+        assert left.records == len(records)
+
+    def test_merge_rejects_conflicts(self):
+        spec = small_spec()
+        a, b = GridAccumulator(spec), GridAccumulator(spec)
+        a.add(sample_record(cell_index=0))
+        b.add(sample_record(cell_index=0, attacker_fraction=0.9))
+        with pytest.raises(ReproError, match="conflicting records"):
+            a.merge(b)
+
+    def test_duplicate_add_rejected(self):
+        grid = GridAccumulator(small_spec())
+        grid.add(sample_record(cell_index=0))
+        with pytest.raises(ReproError, match="duplicate record"):
+            grid.add(sample_record(cell_index=0))
+
+    def test_out_of_grid_coordinate_rejected(self):
+        grid = GridAccumulator(small_spec())
+        with pytest.raises(ReproError, match="outside the spec"):
+            grid.add(sample_record(cell_index=7))
+
+
+# ----------------------------------------------------------------------
+# Store + merge
+# ----------------------------------------------------------------------
+
+
+class TestStoreAndMerge:
+    def shard(self, store, run_id, spec, records, keep):
+        sink = store.sink(run_id)
+        sink.begin(RunHeader.for_spec(spec))
+        for record in records:
+            if keep(record):
+                sink.write(record)
+        sink.close()
+
+    def test_merged_shards_aggregate_like_one_run(
+        self, topology, tmp_path
+    ):
+        spec = small_spec()
+        full = ExperimentRunner(topology, spec).run()
+        records = list(ExperimentRunner(topology, spec).iter_records())
+        store = ResultsStore(tmp_path / "store")
+        # Shards split by trial parity, overlapping on trial 0.
+        self.shard(store, "shard-0", spec, records,
+                   lambda r: r.trial_index % 2 == 0)
+        self.shard(store, "shard-1", spec, records,
+                   lambda r: r.trial_index % 2 == 1 or r.trial_index == 0)
+        header, count = store.merge("merged", ["shard-0", "shard-1"])
+        assert count == len(records)
+        assert store.run_ids() == ["merged", "shard-0", "shard-1"]
+        merged_header, merged_records = store.read("merged")
+        result, dropped = run_result(merged_header, merged_records)
+        assert dropped == 0
+        assert result == full
+
+    def test_merge_is_deterministic_bytes(self, topology, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        run_full(topology, spec, path)
+        out1, out2 = tmp_path / "m1.jsonl", tmp_path / "m2.jsonl"
+        merge_runs(out1, [path])
+        merge_runs(out2, [path])
+        assert out1.read_bytes() == out2.read_bytes()
+
+    def test_merge_rejects_spec_mismatch(self, topology, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_full(topology, small_spec(), a)
+        run_full(topology, small_spec(seed=8), b)
+        with pytest.raises(ReproError, match="spec hash"):
+            merge_runs(tmp_path / "out.jsonl", [a, b])
+
+    def test_bad_run_id_rejected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(ReproError, match="bad run id"):
+            store.path("../escape")
+
+    def test_partial_run_aggregates_completed_prefix(
+        self, topology, tmp_path
+    ):
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        full, lines = run_full(topology, spec, path)
+        cells = len(spec.cells)
+        # Killed during fraction 0: fraction 1 never started.  The
+        # result reports the completed fraction prefix, with per-cell
+        # stats identical to the full run's (same bootstrap seeds).
+        interrupt(path, lines, keep=1 + 3 * cells + 1, partial_tail=False)
+        header, records = read_run(path)
+        result, dropped = run_result(header, records)
+        assert dropped == 1  # the lone record of the unfinished trial
+        assert result.trial_counts == (3,)
+        assert result.fractions == (None,)
+        for cell_index, stats in enumerate(result.stats[0]):
+            assert stats.values == (
+                full.stats[0][cell_index].values[:3]
+            )
+
+    def test_empty_run_rejected(self, topology, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        _, lines = run_full(topology, spec, path)
+        interrupt(path, lines, keep=2, partial_tail=False)  # 1 record
+        header, records = read_run(path)
+        with pytest.raises(
+            ReproError, match="no complete trials for fraction index 0"
+        ):
+            run_result(header, records)
+
+
+# ----------------------------------------------------------------------
+# Live serving
+# ----------------------------------------------------------------------
+
+
+async def http_get(host, port, path):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), json.loads(body)
+
+
+class TestLiveServing:
+    def query_service(self, metrics=None):
+        return QueryService(
+            [Vrp(Prefix.parse("10.0.0.0/24"), 24, 65000)],
+            metrics=metrics,
+        )
+
+    def test_experiments_endpoint_updates_mid_run(self, topology):
+        spec = small_spec()
+        metrics = ServeMetrics()
+        registry = RunRegistry()
+        runner = ExperimentRunner(
+            topology, spec,
+            sink=registry.publisher("live-1", metrics=metrics),
+        )
+
+        async def scenario():
+            service = self.query_service(metrics)
+            async with QueryHttpServer(
+                service, metrics=metrics, runs=registry
+            ) as http:
+                stream = runner.iter_records()
+                seen = 0
+                for _ in range(5):
+                    next(stream)
+                    seen += 1
+                status, listing = await http_get(
+                    http.host, http.port, "/experiments")
+                assert status == 200
+                (entry,) = listing["runs"]
+                assert entry["run"] == "live-1"
+                assert entry["status"] == "running"
+                assert entry["records"] == seen
+
+                status, snapshot = await http_get(
+                    http.host, http.port, "/experiments/live-1")
+                assert status == 200
+                assert snapshot["status"] == "running"
+                assert sum(
+                    cell["trials"] for cell in snapshot["cells"]
+                ) == seen
+                assert snapshot["trial_counts"] is None
+
+                for record in stream:
+                    seen += 1
+                status, snapshot = await http_get(
+                    http.host, http.port, "/experiments/live-1")
+                assert snapshot["status"] == "finished"
+                assert snapshot["records"] == seen
+                assert snapshot["trial_counts"] == [spec.trials] * 2
+                cell_stats = {
+                    (c["cell"], c["fraction"]): c
+                    for c in snapshot["cells"]
+                }
+                assert all(
+                    stats["trials"] == spec.trials
+                    for stats in cell_stats.values()
+                )
+        asyncio.run(scenario())
+        assert metrics["records_published"] == (
+            spec.total_trials * len(spec.cells)
+        )
+        assert metrics["experiment_requests"] == 3
+
+    def test_unknown_run_404_and_post_405(self):
+        async def scenario():
+            async with QueryHttpServer(self.query_service()) as http:
+                status, body = await http_get(
+                    http.host, http.port, "/experiments/none")
+                assert status == 404
+                assert "none" in body["error"]
+                status, body = await http_get(
+                    http.host, http.port, "/experiments")
+                assert status == 200 and body == {"runs": []}
+                reader, writer = await asyncio.open_connection(
+                    http.host, http.port)
+                writer.write(
+                    b"POST /experiments HTTP/1.1\r\n"
+                    b"Connection: close\r\nContent-Length: 0\r\n\r\n")
+                data = await reader.read()
+                assert data.split(b" ", 2)[1] == b"405"
+        asyncio.run(scenario())
+
+    def test_store_loaded_registry_serves_archived_runs(
+        self, topology, tmp_path
+    ):
+        spec = small_spec()
+        store = ResultsStore(tmp_path)
+        sink = store.sink("archived")
+        ExperimentRunner(topology, spec, sink=sink).run()
+        sink.close()
+        registry = RunRegistry()
+        assert registry.load_store(store) == 1
+        snapshot = registry.snapshot("archived")
+        assert snapshot["status"] == "finished"
+        assert snapshot["records"] == spec.total_trials * len(spec.cells)
+
+    def test_load_store_skips_unreadable_runs(self, topology, tmp_path):
+        """One headerless stray must not take the directory off the
+        air — strict mode raises instead."""
+        spec = small_spec()
+        store = ResultsStore(tmp_path)
+        sink = store.sink("good")
+        ExperimentRunner(topology, spec, sink=sink).run()
+        sink.close()
+        (tmp_path / "stray.jsonl").write_bytes(b"")
+        registry = RunRegistry()
+        assert registry.load_store(store) == 1
+        assert registry.run_ids() == ["good"]
+        with pytest.raises(ReproError, match="no header"):
+            RunRegistry().load_store(store, strict=True)
+
+    def test_publish_without_begin_rejected(self):
+        registry = RunRegistry()
+        publisher = registry.publisher("r")
+        with pytest.raises(ReproError, match="no live run"):
+            publisher.write(sample_record())
+
+
+# ----------------------------------------------------------------------
+# Sinks misc
+# ----------------------------------------------------------------------
+
+
+class TestSinkProtocol:
+    def test_tee_fans_out(self, topology, tmp_path):
+        spec = small_spec()
+        a, b = MemorySink(), JsonlSink(tmp_path / "tee.jsonl")
+        tee = TeeSink(a, b)
+        result = ExperimentRunner(topology, spec, sink=tee).run()
+        tee.close()
+        header, records = read_run(tmp_path / "tee.jsonl")
+        assert sorted(a.records, key=lambda r: r.sort_key) == records
+        assert a.trial_counts == result.trial_counts
+        assert a.header == header
+
+    def test_empty_tee_rejected(self):
+        with pytest.raises(ReproError, match="at least one sink"):
+            TeeSink()
+
+    def test_write_before_begin_rejected(self, tmp_path):
+        sink = JsonlSink(tmp_path / "x.jsonl")
+        with pytest.raises(ReproError, match="before begin"):
+            sink.write(sample_record())
