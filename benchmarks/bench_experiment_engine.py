@@ -29,7 +29,7 @@ import random
 import sys
 import time
 
-from benchlib import emit_report
+from benchlib import emit_report, phase
 from repro.data import TopologyProfile, generate_topology
 from repro.exper import (
     ExperimentRunner,
@@ -66,9 +66,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     print(f"generating a {args.ases}-AS topology...", file=sys.stderr)
-    topology = generate_topology(
-        TopologyProfile(ases=args.ases), random.Random(args.seed)
-    )
+    with phase("setup"):
+        topology = generate_topology(
+            TopologyProfile(ases=args.ases), random.Random(args.seed)
+        )
     spec = ExperimentSpec(
         cells=(
             ScenarioCell("forged-origin-subprefix", MinimalRoa()),
@@ -80,12 +81,15 @@ def main(argv=None) -> int:
 
     print(f"serial: {spec.total_trials} trials x {len(spec.cells)} cells...",
           file=sys.stderr)
-    serial = bench_executor(topology, spec, "serial", args.workers)
+    with phase("run"):
+        serial = bench_executor(topology, spec, "serial", args.workers)
     print(f"process: same spec on {args.workers} workers...",
           file=sys.stderr)
-    parallel = bench_executor(topology, spec, "process", args.workers)
+    with phase("run"):
+        parallel = bench_executor(topology, spec, "process", args.workers)
 
-    identical = serial.pop("_result") == parallel.pop("_result")
+    with phase("aggregate"):
+        identical = serial.pop("_result") == parallel.pop("_result")
     speedup = round(
         parallel["trials_per_second"] / serial["trials_per_second"], 2
     )

@@ -32,7 +32,7 @@ import random
 import sys
 import time
 
-from benchlib import emit_report
+from benchlib import emit_report, phase
 from repro.bgp import Seed, VrpIndex, evaluate_attack_seeds
 from repro.data import TopologyProfile, generate_topology
 from repro.netbase import Prefix
@@ -94,25 +94,31 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     print(f"generating a {args.ases}-AS topology...", file=sys.stderr)
-    topology = generate_topology(
-        TopologyProfile(ases=args.ases), random.Random(args.seed)
-    )
-    start = time.perf_counter()
-    compiled = topology.compiled()
-    compile_seconds = time.perf_counter() - start
+    with phase("setup"):
+        topology = generate_topology(
+            TopologyProfile(ases=args.ases), random.Random(args.seed)
+        )
+        start = time.perf_counter()
+        compiled = topology.compiled()
+        compile_seconds = time.perf_counter() - start
 
-    stubs = sorted(topology.stub_ases())
-    rng = random.Random(args.seed)
-    pairs = [tuple(rng.sample(stubs, 2)) for _ in range(args.pairs)]
+        stubs = sorted(topology.stub_ases())
+        rng = random.Random(args.seed)
+        pairs = [tuple(rng.sample(stubs, 2)) for _ in range(args.pairs)]
 
     print(f"object engine: {args.pairs} evaluations x {args.repeats}...",
           file=sys.stderr)
-    object_run = bench_engine(topology, pairs, "object", args.repeats)
+    with phase("run"):
+        object_run = bench_engine(topology, pairs, "object", args.repeats)
     print(f"array engine: {args.pairs} evaluations x {args.repeats}...",
           file=sys.stderr)
-    array_run = bench_engine(topology, pairs, "array", args.repeats)
+    with phase("run"):
+        array_run = bench_engine(topology, pairs, "array", args.repeats)
 
-    identical = object_run.pop("_outcomes") == array_run.pop("_outcomes")
+    with phase("aggregate"):
+        identical = (
+            object_run.pop("_outcomes") == array_run.pop("_outcomes")
+        )
     speedup = round(
         object_run["wall_seconds"] / array_run["wall_seconds"], 2
     )

@@ -26,7 +26,7 @@ import random
 import sys
 import time
 
-from benchlib import emit_report
+from benchlib import emit_report, phase
 from repro.netbase import AF_INET, Prefix
 from repro.rpki import Vrp
 from repro.serve import (
@@ -129,13 +129,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     rng = random.Random(args.seed)
-    vrps = synth_vrps(args.vrps, rng)
+    with phase("setup"):
+        vrps = synth_vrps(args.vrps, rng)
 
     print(f"table: {len(vrps)} VRPs; {args.clients} concurrent routers...",
           file=sys.stderr)
-    fanout = asyncio.run(bench_rtr_fanout(vrps, args.clients))
+    with phase("run"):
+        fanout = asyncio.run(bench_rtr_fanout(vrps, args.clients))
     print(f"queries: {args.queries} validity lookups...", file=sys.stderr)
-    queries = bench_queries(vrps, args.queries, rng)
+    with phase("run"):
+        queries = bench_queries(vrps, args.queries, rng)
 
     return emit_report(
         "serve_fanout",

@@ -30,6 +30,13 @@ overhead), with byte-identical results.  Both arms take the best of
 ``--sink-repeats`` timing runs so shared-runner noise cannot flake
 the gate.
 
+So must telemetry: the serial engine is timed with the process
+metrics registry live (tracing off) vs the null registry, and the
+instrumented run must keep **≥98% of the uninstrumented trials/sec**
+(≤2% telemetry overhead) with byte-identical results — the
+:mod:`repro.obs` contract that telemetry observes the engine without
+perturbing it.
+
 Emits a JSON document to stdout and a copy into
 ``benchmarks/results/trial_throughput.json``.
 
@@ -48,8 +55,9 @@ import tempfile
 import time
 from pathlib import Path
 
-from benchlib import emit_report
+from benchlib import emit_report, phase
 from repro.data import TopologyProfile, generate_topology
+from repro.obs import NULL_REGISTRY, MetricsRegistry, use_registry
 from repro.exper import (
     ExperimentRunner,
     ExperimentSpec,
@@ -192,6 +200,46 @@ def bench_sink_overhead(topology, spec, repeats):
     }
 
 
+def bench_telemetry_overhead(topology, spec, repeats):
+    """Serial trials/sec with telemetry off (null registry) vs on.
+
+    The tentpole's overhead gate: instruments record on every trial,
+    sweep, and record release, so "on" pays the real metric cost while
+    "off" proves the null-registry fast path skips even the clock
+    reads.  Interleaved best-of-``repeats`` timing, like the sink arm
+    — but additionally alternating which arm goes first each repeat,
+    so CPU warm-up and frequency-scaling transients cannot
+    systematically favor one arm of a 2% gate; results must be
+    byte-identical (telemetry never touches the trial RNG).
+    """
+    total = spec.total_trials
+    best = {"off": None, "on": None}
+    results = {}
+    for repeat in range(repeats):
+        order = ("off", "on") if repeat % 2 == 0 else ("on", "off")
+        for arm in order:
+            registry = NULL_REGISTRY if arm == "off" else MetricsRegistry()
+            with use_registry(registry):
+                runner = ExperimentRunner(topology, spec)
+                start = time.perf_counter()
+                results[arm] = runner.run(bootstrap_resamples=200)
+                elapsed = time.perf_counter() - start
+            if best[arm] is None or elapsed < best[arm]:
+                best[arm] = elapsed
+    off_tps = total / best["off"]
+    on_tps = total / best["on"]
+    return {
+        "trials": total,
+        "timing_repeats": repeats,
+        "off_wall_seconds": round(best["off"], 4),
+        "off_trials_per_second": round(off_tps, 2),
+        "on_wall_seconds": round(best["on"], 4),
+        "on_trials_per_second": round(on_tps, 2),
+        "overhead_fraction": round(1.0 - on_tps / off_tps, 4),
+        "_identical": results["off"] == results["on"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--ases", type=int, default=10000,
@@ -208,44 +256,66 @@ def main(argv=None) -> int:
     parser.add_argument("--sink-repeats", type=int, default=3,
                         help="timing repetitions per sink-overhead arm; "
                              "best run counts")
+    parser.add_argument("--telemetry-repeats", type=int, default=10,
+                        help="timing repetitions per telemetry-overhead "
+                             "arm; best run counts (the 2%% gate is "
+                             "tighter than the sink gate, so it takes "
+                             "more repeats to outrun runner noise)")
     args = parser.parse_args(argv)
 
     print(f"generating a {args.ases}-AS topology...", file=sys.stderr)
-    topology = generate_topology(
-        TopologyProfile(ases=args.ases), random.Random(args.seed)
-    )
+    with phase("setup"):
+        topology = generate_topology(
+            TopologyProfile(ases=args.ases), random.Random(args.seed)
+        )
     spec = granularity_spec(args.trials, args.seed)
     total = spec.total_trials
     workers = args.workers
 
     runs = {}
     results = {}
-    for engine, runner in (("baseline", run_baseline),
-                           ("current", run_current)):
-        for executor in ("serial", "process"):
-            elapsed, result = timed(
-                f"{engine}/{executor} ({total} trials x "
-                f"{len(spec.cells)} cells)",
-                runner, topology, spec, executor, workers,
-            )
-            runs[f"{engine}_{executor}"] = {
-                "wall_seconds": round(elapsed, 4),
-                "trials": total,
-                "trials_per_second": round(total / elapsed, 2),
-            }
-            results[f"{engine}_{executor}"] = result
+    with phase("run"):
+        for engine, runner in (("baseline", run_baseline),
+                               ("current", run_current)):
+            for executor in ("serial", "process"):
+                elapsed, result = timed(
+                    f"{engine}/{executor} ({total} trials x "
+                    f"{len(spec.cells)} cells)",
+                    runner, topology, spec, executor, workers,
+                )
+                runs[f"{engine}_{executor}"] = {
+                    "wall_seconds": round(elapsed, 4),
+                    "trials": total,
+                    "trials_per_second": round(total / elapsed, 2),
+                }
+                results[f"{engine}_{executor}"] = result
 
     print(
         f"  sink overhead (serial, best of {args.sink_repeats})...",
         file=sys.stderr,
     )
-    sink_overhead = bench_sink_overhead(topology, spec, args.sink_repeats)
+    with phase("run"):
+        sink_overhead = bench_sink_overhead(
+            topology, spec, args.sink_repeats
+        )
     sink_identical = sink_overhead.pop("_identical")
 
-    identical = (
-        results["baseline_serial"] == results["baseline_process"]
-        == results["current_serial"] == results["current_process"]
+    print(
+        f"  telemetry overhead (serial, best of "
+        f"{args.telemetry_repeats})...",
+        file=sys.stderr,
     )
+    with phase("run"):
+        telemetry_overhead = bench_telemetry_overhead(
+            topology, spec, args.telemetry_repeats
+        )
+    telemetry_identical = telemetry_overhead.pop("_identical")
+
+    with phase("aggregate"):
+        identical = (
+            results["baseline_serial"] == results["baseline_process"]
+            == results["current_serial"] == results["current_process"]
+        )
     process_speedup = round(
         runs["current_process"]["trials_per_second"]
         / runs["baseline_process"]["trials_per_second"], 2
@@ -296,6 +366,7 @@ def main(argv=None) -> int:
             "speedup_process": process_speedup,
             "speedup_serial": serial_speedup,
             "sink_overhead": sink_overhead,
+            "telemetry_overhead": telemetry_overhead,
             "synthetic_75k": big_run,
         },
         {
@@ -305,6 +376,11 @@ def main(argv=None) -> int:
             "sink_overhead_lte_5pct": (
                 sink_overhead["sink_trials_per_second"]
                 >= 0.95 * sink_overhead["plain_trials_per_second"]
+            ),
+            "telemetry_results_identical": telemetry_identical,
+            "telemetry_overhead_lte_2pct": (
+                telemetry_overhead["on_trials_per_second"]
+                >= 0.98 * telemetry_overhead["off_trials_per_second"]
             ),
             # null = skipped via --skip-75k
             "caida_scale_run": (

@@ -17,21 +17,48 @@ fixed envelope::
 Acceptance values are tri-state: ``True`` passed, ``False`` failed
 (the script exits 1 and CI goes red), ``None`` skipped (recorded but
 not gating — e.g. a check that needs more cores than the runner has).
+
+Scripts may additionally wrap their top-level stages in
+:func:`phase` (``with phase("setup"): …``); the accumulated wall
+times then ride along in the envelope as an optional ``"phases"``
+mapping, so a slow trajectory point shows *where* the time went
+(setup vs. run vs. aggregate) without re-running anything.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import sys
+import time
 from pathlib import Path
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterator, Mapping, Optional
 
-__all__ = ["BENCH_SCHEMA", "RESULTS_DIR", "emit_report"]
+__all__ = ["BENCH_SCHEMA", "RESULTS_DIR", "emit_report", "phase"]
 
 #: Version of the report envelope written by :func:`emit_report`.
 BENCH_SCHEMA = 1
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Wall seconds accumulated per phase name since the last
+#: :func:`emit_report` (which drains it into the envelope).
+_PHASES: Dict[str, float] = {}
+
+
+@contextlib.contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Accrue the block's wall time under ``name`` in the next report.
+
+    Re-entering a name accumulates, so a phase wrapped around each of
+    several repeats reports their total.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        _PHASES[name] = _PHASES.get(name, 0.0) + elapsed
 
 
 def emit_report(
@@ -52,9 +79,15 @@ def emit_report(
         "bench_schema": BENCH_SCHEMA,
     }
     for key, value in payload.items():
-        if key in report or key == "acceptance":
+        if key in report or key in ("acceptance", "phases"):
             raise ValueError(f"payload may not override {key!r}")
         report[key] = value
+    if _PHASES:
+        report["phases"] = {
+            name: round(seconds, 6)
+            for name, seconds in _PHASES.items()
+        }
+        _PHASES.clear()
     report["acceptance"] = dict(acceptance)
     text = json.dumps(report, indent=2)
     print(text)

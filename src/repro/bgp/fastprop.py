@@ -61,6 +61,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 from ..netbase import Prefix
 from ..netbase.errors import ReproError
+from ..obs.metrics import MetricsRegistry, get_registry
 from .origin_validation import ValidationState, VrpIndex
 from .simulation import Route, RouteClass, Seed, SimulationError
 from .topology import AsTopology, CompiledTopology
@@ -232,6 +233,30 @@ def _compiled_of(
     return topology
 
 
+class _WorkspaceMetrics:
+    """The ``fastprop.*`` instruments one workspace records into.
+
+    Counters only — the kernel never reads a clock — so telemetry here
+    can never perturb timing-sensitive callers, let alone the RNG.
+    """
+
+    __slots__ = (
+        "enabled", "sweeps", "touched_ases", "lane_resets",
+        "profile_hits", "profile_misses", "mask_builds", "epochs",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        view = registry.view("fastprop")
+        self.enabled = registry.enabled
+        self.sweeps = view.counter("sweeps")
+        self.touched_ases = view.counter("touched_ases")
+        self.lane_resets = view.counter("lane_resets")
+        self.profile_hits = view.counter("profile_hits")
+        self.profile_misses = view.counter("profile_misses")
+        self.mask_builds = view.counter("mask_builds")
+        self.epochs = view.counter("epochs")
+
+
 class PropagationWorkspace:
     """Reusable per-worker state for array-engine trial evaluation.
 
@@ -246,13 +271,24 @@ class PropagationWorkspace:
     workspace-free path — including RNG consumption — which the test
     suite pins.
 
+    The workspace counts its own behavior (sweeps run, ASes touched,
+    profile cache hits/misses, mask builds) into ``registry`` under the
+    ``fastprop.`` namespace; by default the process registry at
+    construction time, so worker processes each record into their own.
+
     Not thread-safe; share nothing across threads or processes.
     """
 
     def __init__(
-        self, topology: Union[AsTopology, CompiledTopology]
+        self,
+        topology: Union[AsTopology, CompiledTopology],
+        *,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.compiled = _compiled_of(topology)
+        self.metrics = _WorkspaceMetrics(
+            registry if registry is not None else get_registry()
+        )
         self._lanes: list[_Lane] = []
         self._profiles: dict[tuple, _Profile] = {}
         self._validators_token: object = self  # sentinel: no epoch yet
@@ -276,6 +312,7 @@ class PropagationWorkspace:
             self._validators_token = validating_ases
             self._mask = None
             self._profiles.clear()
+            self.metrics.epochs.inc()
 
     def mask(self) -> bytearray:
         """The current epoch's validation bitmask, computed lazily."""
@@ -291,6 +328,7 @@ class PropagationWorkspace:
                 self._mask = self._universal_mask
             else:
                 self._mask = self.compiled.validation_mask(validators)
+                self.metrics.mask_builds.inc()
         return self._mask
 
     def profile(self, key: tuple) -> Optional[_Profile]:
@@ -301,6 +339,9 @@ class PropagationWorkspace:
             # one like the trial's victim-cover profile.
             del self._profiles[key]
             self._profiles[key] = profile
+            self.metrics.profile_hits.inc()
+        else:
+            self.metrics.profile_misses.inc()
         return profile
 
     def store_profile(self, key: tuple, profile: _Profile) -> None:
@@ -690,6 +731,12 @@ def _lane_propagation(
     try:
         yield state
     finally:
+        if workspace is not None and workspace.metrics.enabled:
+            # Read the touched count BEFORE reset clears the list.
+            metrics = workspace.metrics
+            metrics.sweeps.inc()
+            metrics.touched_ases.inc(len(used_lane.touched))
+            metrics.lane_resets.inc()
         used_lane.reset()
 
 

@@ -134,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of recorded runs (a ResultsStore) to serve "
              "on the /experiments endpoints",
     )
+    serve.add_argument(
+        "--metrics-interval", type=float, metavar="N",
+        help="log a metrics snapshot to stderr every N seconds",
+    )
 
     experiment = sub.add_parser(
         "experiment",
@@ -207,6 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue an interrupted recording in --sink: completed "
              "trials replay instead of re-running, and the final "
              "result is byte-identical to an uninterrupted run",
+    )
+    experiment.add_argument(
+        "--progress", action="store_true",
+        help="print heartbeat lines (trials/sec, ETA, per-cell "
+             "completion) to stderr while the grid runs",
+    )
+    experiment.add_argument(
+        "--progress-interval", type=float, default=2.0, metavar="N",
+        help="seconds between --progress heartbeats (default 2)",
+    )
+    experiment.add_argument(
+        "--trace", metavar="PATH",
+        help="record span traces and write them to PATH as Chrome "
+             "trace JSON (open in Perfetto / chrome://tracing)",
     )
     experiment.add_argument("--emit-spec", action="store_true",
                             help="print the spec as JSON and exit")
@@ -387,7 +405,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"results: {loaded} recorded runs from {args.results}")
 
     async def run() -> None:
-        metrics = ServeMetrics()
+        import json
+
+        from .obs import get_registry
+
+        # The process registry, not a private one: a single
+        # /metrics?format=prometheus scrape then covers everything the
+        # process recorded (serve.*, and any experiment run in-process).
+        metrics = ServeMetrics(registry=get_registry())
         rtr = AsyncRtrServer(
             vrps, host=args.rtr_host, port=args.rtr_port, metrics=metrics)
         await rtr.start()
@@ -398,15 +423,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics=metrics, runs=runs)
         await http.start()
         print(
-            f"RTR: {len(vrps)} VRPs at serial {rtr.state.serial} on "
-            f"{rtr.host}:{rtr.port} (compress={'on' if args.compress else 'off'})"
+            f"serving: rtr={rtr.host}:{rtr.port} "
+            f"http={http.host}:{http.port} "
+            f"serial={rtr.state.serial} vrps={len(vrps)} "
+            f"compress={'on' if args.compress else 'off'}; Ctrl-C to stop"
         )
-        print(
-            f"HTTP: GET http://{http.host}:{http.port}/validity"
-            f"?asn=…&prefix=… (also /metrics, /status, /experiments); "
-            f"Ctrl-C to stop"
-        )
-        await asyncio.Event().wait()  # serve until interrupted
+        tasks = []
+        if args.metrics_interval:
+            async def log_metrics() -> None:
+                while True:
+                    await asyncio.sleep(args.metrics_interval)
+                    print(
+                        f"metrics: {json.dumps(metrics.snapshot())}",
+                        file=sys.stderr,
+                    )
+
+            tasks.append(asyncio.ensure_future(log_metrics()))
+        try:
+            await asyncio.Event().wait()  # serve until interrupted
+        finally:
+            for task in tasks:
+                task.cancel()
 
     try:
         asyncio.run(run())
@@ -534,12 +571,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.resume:
         print("--resume requires --sink", file=sys.stderr)
         return 2
+    reporter = None
+    if args.progress:
+        from .obs import ProgressReporter
+
+        reporter = ProgressReporter(
+            spec, interval=args.progress_interval
+        )
+    if args.trace:
+        from .obs import enable_tracing
+
+        enable_tracing()
     runner = ExperimentRunner(
         topology, spec, executor=args.executor, workers=args.workers,
         sink=sink, resume_from=sink if args.resume else None,
     )
     try:
-        result = runner.run()
+        result = runner.run(
+            on_record=reporter.record if reporter is not None else None
+        )
     except (ReproError, OSError) as exc:
         # OSError: an unwritable/unreadable --sink path.
         print(f"experiment failed: {exc}", file=sys.stderr)
@@ -547,6 +597,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     finally:
         if sink is not None:
             sink.close()
+        if reporter is not None:
+            reporter.finish()
+        if args.trace:
+            from .obs import disable_tracing, write_chrome_trace
+
+            disable_tracing()
+            events = write_chrome_trace(args.trace)
+            print(
+                f"trace: {events} events -> {args.trace}",
+                file=sys.stderr,
+            )
     if sink is not None:
         print(f"recorded run: {args.sink}", file=sys.stderr)
     if args.json:

@@ -17,8 +17,9 @@ module only builds the attacker seed lists.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from ..bgp.attacks import evaluate_attack_seeds
 from ..bgp.fastprop import (
@@ -280,6 +281,7 @@ def evaluate_trials(
     trials: Iterable[TrialSpec],
     *,
     workspace: Optional[PropagationWorkspace] = None,
+    observe: Optional[Callable[[TrialSpec, float], None]] = None,
 ) -> Iterator[TrialRecord]:
     """Evaluate a stream of trials with one shared workspace.
 
@@ -289,13 +291,28 @@ def evaluate_trials(
     which is where the trials/sec win over per-trial allocation comes
     from.  Record content is byte-identical to mapping
     :func:`evaluate_trial` over the same trials.
+
+    ``observe`` — called as ``observe(trial, seconds)`` after each
+    trial evaluates — is the runner's per-trial latency hook; it is
+    pure observation and must not mutate anything the trial reads.
+    When it is ``None`` (telemetry off) no clocks are read at all.
     """
     if workspace is None and spec.engine == "array":
         workspace = PropagationWorkspace(topology)
+    if observe is None:
+        for trial in trials:
+            yield from evaluate_trial(
+                topology, spec, trial, workspace=workspace
+            )
+        return
+    clock = time.perf_counter
     for trial in trials:
-        yield from evaluate_trial(
+        start = clock()
+        records = evaluate_trial(
             topology, spec, trial, workspace=workspace
         )
+        observe(trial, clock() - start)
+        yield from records
 
 
 def _attacker_seed(

@@ -36,11 +36,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue
+import time
 from typing import Callable, Iterator, Optional, Sequence
 
 from ..bgp.fastprop import PropagationWorkspace
 from ..bgp.topology import AsTopology, CompiledTopology
 from ..netbase.errors import ReproError
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry, get_registry
 from ..results.sinks import (
     ResultSink,
     RunHeader,
@@ -127,6 +130,43 @@ def _run_batch(batch: list[TrialSpec]) -> list[TrialRecord]:
     )
 
 
+class _RunnerMetrics:
+    """The runner's ``exper.*`` instruments, resolved once per run.
+
+    Pure observation: every method only counts and times — nothing
+    here reads or advances a trial RNG, so aggregated results are
+    byte-identical whether the registry records or is the null
+    registry (a pinned invariant).
+    """
+
+    __slots__ = (
+        "enabled", "runs", "trials_completed", "trials_dispatched",
+        "records_released", "records_replayed", "batches_dispatched",
+        "batches_retired", "fractions_stopped", "trial_latency",
+        "batch_latency", "inflight_batches",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        view = registry.view("exper")
+        self.enabled = registry.enabled
+        self.runs = view.counter("runs")
+        self.trials_dispatched = view.counter("trials_dispatched")
+        self.trials_completed = view.counter("trials_completed")
+        self.records_released = view.counter("records_released")
+        self.records_replayed = view.counter("records_replayed")
+        self.batches_dispatched = view.counter("batches_dispatched")
+        self.batches_retired = view.counter("batches_retired")
+        self.fractions_stopped = view.counter("fractions_stopped")
+        self.trial_latency = view.histogram("trial_latency")
+        self.batch_latency = view.histogram("batch_latency")
+        self.inflight_batches = view.gauge("inflight_batches")
+
+    def observe_trial(self, trial: TrialSpec, seconds: float) -> None:
+        """The serial executor's per-trial hook."""
+        self.trials_completed.inc()
+        self.trial_latency.observe(seconds)
+
+
 class _StopTracker:
     """Prefix-deterministic early stopping for one run.
 
@@ -142,7 +182,11 @@ class _StopTracker:
     identical decisions.
     """
 
-    def __init__(self, spec: ExperimentSpec) -> None:
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        on_stop: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
         self.spec = spec
         cells = len(spec.cells)
         self._pending: list[dict[int, list[TrialRecord]]] = [
@@ -153,6 +197,9 @@ class _StopTracker:
         ]
         self._watermark = [0] * len(spec.fractions)
         self._stop_at: list[Optional[int]] = [None] * len(spec.fractions)
+        # Observation only — the callback sees each (fraction,
+        # watermark) stop decision but cannot influence it.
+        self._on_stop = on_stop
 
     def stopped_at(self, fraction_index: int) -> Optional[int]:
         return self._stop_at[fraction_index]
@@ -203,6 +250,8 @@ class _StopTracker:
                     t for t in pending if t >= watermark
                 ]:
                     del pending[trial_index]
+                if self._on_stop is not None:
+                    self._on_stop(f, watermark)
                 break
         return released
 
@@ -257,6 +306,12 @@ class ExperimentRunner:
             the RNG stream intact), and partially-recorded trials are
             re-evaluated whole — so an interrupted-then-resumed run
             produces a result byte-identical to an uninterrupted one.
+        registry: the :class:`~repro.obs.MetricsRegistry` the run's
+            ``exper.*`` instruments record into (default: the process
+            registry at run time; pass
+            :data:`~repro.obs.NULL_REGISTRY` to switch telemetry off).
+            Instrumentation never touches a trial RNG, so results are
+            byte-identical whichever registry is installed.
 
     After a ``"process"`` run, :attr:`last_shared_segment` names the
     shared-memory segment the run used (``None`` if the blob-pickle
@@ -275,6 +330,7 @@ class ExperimentRunner:
         batch_size: Optional[int] = None,
         sink: Optional[ResultSink] = None,
         resume_from: Optional[ResultSink] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ReproError(
@@ -291,6 +347,10 @@ class ExperimentRunner:
         self.batch_size = batch_size
         self.sink = sink
         self.resume_from = resume_from
+        #: Metrics destination; ``None`` resolves the process-default
+        #: registry at run time (so ``use_registry`` blocks around
+        #: ``run()`` behave as expected).
+        self.registry = registry
         self.last_shared_segment: Optional[str] = None
         self._header: Optional[RunHeader] = None
 
@@ -298,11 +358,28 @@ class ExperimentRunner:
     # Record streaming
     # ------------------------------------------------------------------
 
-    def _make_tracker(self) -> Optional["_StopTracker"]:
-        return (
-            _StopTracker(self.spec)
-            if self.spec.stopping == "ci" else None
+    def _metrics(self) -> _RunnerMetrics:
+        return _RunnerMetrics(
+            self.registry if self.registry is not None else get_registry()
         )
+
+    def _make_tracker(
+        self, metrics: Optional[_RunnerMetrics] = None
+    ) -> Optional["_StopTracker"]:
+        if self.spec.stopping != "ci":
+            return None
+        on_stop = None
+        if metrics is not None:
+
+            def on_stop(fraction_index: int, watermark: int) -> None:
+                metrics.fractions_stopped.inc()
+                trace.get_tracer().instant(
+                    "exper.fraction_stopped",
+                    fraction_index=fraction_index,
+                    trials=watermark,
+                )
+
+        return _StopTracker(self.spec, on_stop)
 
     def iter_records(self) -> Iterator[TrialRecord]:
         """Stream TrialRecords as trials complete (unordered under the
@@ -313,7 +390,8 @@ class ExperimentRunner:
         ``resume_from`` set, replayed records stream first; with
         ``sink`` set, every streamed record is persisted as it passes.
         """
-        return self._records(self._make_tracker())
+        metrics = self._metrics()
+        return self._records(self._make_tracker(metrics), metrics)
 
     def _load_resume(
         self,
@@ -375,12 +453,20 @@ class ExperimentRunner:
         return self._header
 
     def _records(
-        self, tracker: Optional["_StopTracker"]
+        self,
+        tracker: Optional["_StopTracker"],
+        metrics: Optional[_RunnerMetrics] = None,
     ) -> Iterator[TrialRecord]:
         """One run's record stream; all per-run state (stop tracker,
         shared-memory handle) lives in this generator, so overlapping
         or abandoned iterations cannot interfere with each other."""
-        replay, finished = self._load_resume()
+        if metrics is None:
+            metrics = self._metrics()
+        metrics.runs.inc()
+        with trace.span("exper.resume_scan"):
+            replay, finished = self._load_resume()
+        if replay:
+            metrics.records_replayed.inc(len(replay))
         sink = self.sink
         if sink is not None:
             sink.begin(self._run_header())
@@ -403,11 +489,14 @@ class ExperimentRunner:
             ),
         )
         if self.executor == "serial":
-            raw = self._iter_serial(trials, tracker)
+            raw = self._iter_serial(trials, tracker, metrics)
         else:
-            raw = self._iter_process(trials, tracker)
+            raw = self._iter_process(trials, tracker, metrics)
+
+        records_released = metrics.records_released
 
         def emit(record: TrialRecord) -> TrialRecord:
+            records_released.inc()
             if sink is not None and (
                 rewrite_replay
                 or (record.fraction_index, record.trial_index)
@@ -443,6 +532,7 @@ class ExperimentRunner:
         self,
         trials: Iterator[TrialSpec],
         tracker: Optional[_StopTracker],
+        metrics: _RunnerMetrics,
     ) -> Iterator[TrialRecord]:
         # The trial generator already declines stopped trials via its
         # ``wants`` hook; the extra filter catches trials yielded just
@@ -451,12 +541,18 @@ class ExperimentRunner:
             trial for trial in trials
             if tracker is None or tracker.wants(trial)
         )
-        yield from evaluate_trials(self.topology, self.spec, wanted)
+        yield from evaluate_trials(
+            self.topology, self.spec, wanted,
+            # With the null registry the hook is omitted entirely, so
+            # the telemetry-off path skips even the clock reads.
+            observe=metrics.observe_trial if metrics.enabled else None,
+        )
 
     def _iter_process(
         self,
         trials: Iterator[TrialSpec],
         tracker: Optional[_StopTracker],
+        metrics: _RunnerMetrics,
     ) -> Iterator[TrialRecord]:
         batch_size = self.batch_size or max(
             1,
@@ -465,7 +561,8 @@ class ExperimentRunner:
                 _MAX_AUTO_BATCH,
             ),
         )
-        payload, shm = self._share_topology()
+        with trace.span("exper.share_topology"):
+            payload, shm = self._share_topology()
         try:
             with multiprocessing.Pool(
                 processes=self.workers,
@@ -473,7 +570,7 @@ class ExperimentRunner:
                 initargs=(payload, self.spec),
             ) as pool:
                 yield from self._pump_pool(
-                    pool, trials, batch_size, tracker
+                    pool, trials, batch_size, tracker, metrics
                 )
         finally:
             if shm is not None:
@@ -489,12 +586,21 @@ class ExperimentRunner:
         trials: Iterator[TrialSpec],
         batch_size: int,
         tracker: Optional[_StopTracker],
+        metrics: _RunnerMetrics,
     ) -> Iterator[TrialRecord]:
         """Windowed task submission: at most ``2 × workers`` batches in
         flight, so lazy trial materialization actually bounds memory
-        and early stopping stops *scheduling*, not just emitting."""
+        and early stopping stops *scheduling*, not just emitting.
+
+        Each in-flight batch is timed from dispatch to retirement
+        (queue wait plus evaluation — what the driver actually waits
+        for); per-propagation detail inside a worker process stays in
+        that worker's own registry.
+        """
         results: queue.SimpleQueue = queue.SimpleQueue()
         inflight = 0
+        tracer = trace.get_tracer()
+        clock = time.perf_counter
 
         def next_batch() -> Optional[list[TrialSpec]]:
             batch: list[TrialSpec] = []
@@ -512,20 +618,37 @@ class ExperimentRunner:
                 batch = next_batch()
                 if batch is None:
                     return
+                size = len(batch)
+                start = clock()
                 pool.apply_async(
                     _run_batch,
                     (batch,),
-                    callback=lambda r: results.put((True, r)),
-                    error_callback=lambda e: results.put((False, e)),
+                    callback=lambda r, s=start, n=size: results.put(
+                        (True, r, s, n)
+                    ),
+                    error_callback=lambda e, s=start, n=size: results.put(
+                        (False, e, s, n)
+                    ),
                 )
                 inflight += 1
+                metrics.batches_dispatched.inc()
+                metrics.trials_dispatched.inc(size)
+                metrics.inflight_batches.set(inflight)
 
         submit()
         while inflight:
-            ok, value = results.get()
+            ok, value, started, size = results.get()
             inflight -= 1
+            metrics.inflight_batches.set(inflight)
             if not ok:
                 raise value
+            elapsed = clock() - started
+            metrics.batches_retired.inc()
+            metrics.trials_completed.inc(size)
+            metrics.batch_latency.observe(elapsed)
+            tracer.complete(
+                "exper.batch", started, elapsed, trials=size
+            )
             yield from value
             submit()
 
@@ -577,10 +700,11 @@ class ExperimentRunner:
         ``on_record`` observes each record as it streams in (progress
         reporting); it must not mutate the record.
         """
-        tracker = self._make_tracker()
+        metrics = self._metrics()
+        tracker = self._make_tracker(metrics)
 
         def records() -> Iterator[TrialRecord]:
-            for record in self._records(tracker):
+            for record in self._records(tracker, metrics):
                 if on_record is not None:
                     on_record(record)
                 yield record
@@ -590,10 +714,16 @@ class ExperimentRunner:
                 return tracker.final_counts()
             return (self.spec.trials,) * len(self.spec.fractions)
 
-        return aggregate_records(
-            self.spec,
-            records(),
-            bootstrap_resamples=bootstrap_resamples,
-            confidence=confidence,
-            expected_trials=expected,
-        )
+        with trace.span(
+            "exper.run",
+            executor=self.executor,
+            cells=len(self.spec.cells),
+            trials=self.spec.total_trials,
+        ):
+            return aggregate_records(
+                self.spec,
+                records(),
+                bootstrap_resamples=bootstrap_resamples,
+                confidence=confidence,
+                expected_trials=expected,
+            )

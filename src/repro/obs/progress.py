@@ -1,0 +1,111 @@
+"""Heartbeat progress for streaming experiment runs.
+
+``repro-roa experiment --progress`` attaches a
+:class:`ProgressReporter` to the runner's ``on_record`` hook; it
+prints one line to stderr every ``interval`` seconds::
+
+    progress: 120/480 trials (25.0%) | 53.1 trials/s | ETA 6.8s | cells 2/10 done
+
+Counting is record-driven (the reporter only *reads* the stream), so
+attaching it cannot perturb results — the same invariant every other
+instrument in :mod:`repro.obs` keeps.  Under CI-width early stopping
+the grid shrinks as fractions stop, so the totals are the spec's
+upper bound and the ETA is an estimate.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Turns a run's record stream into periodic heartbeat lines.
+
+    Args:
+        spec: the :class:`~repro.exper.spec.ExperimentSpec` being run
+            (sizes the grid: cells, fractions, trials).
+        stream: where heartbeat lines go (default stderr).
+        interval: minimum seconds between lines (0 = every record).
+        clock: injectable time source, for tests.
+    """
+
+    def __init__(
+        self,
+        spec,
+        *,
+        stream: Optional[TextIO] = None,
+        interval: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.spec = spec
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._clock = clock
+        self._cells = len(spec.cells)
+        self._total_trials = spec.total_trials
+        self._total_records = self._total_trials * self._cells
+        self._per_cell_expected = self._total_trials
+        self._cell_counts = [0] * self._cells
+        self._records = 0
+        self._start = clock()
+        self._last_emit = self._start
+        self.lines_emitted = 0
+
+    # -- the on_record hook --------------------------------------------
+
+    def record(self, record) -> None:
+        """Absorb one streamed :class:`TrialRecord`; maybe heartbeat."""
+        self._records += 1
+        self._cell_counts[record.cell_index] += 1
+        now = self._clock()
+        if now - self._last_emit >= self.interval:
+            self._emit(now, final=False)
+
+    def finish(self) -> None:
+        """Emit the final line (always, regardless of the interval)."""
+        self._emit(self._clock(), final=True)
+
+    # -- rendering ------------------------------------------------------
+
+    def _emit(self, now: float, *, final: bool) -> None:
+        self.stream.write(self.render(now, final=final) + "\n")
+        self.stream.flush()
+        self._last_emit = now
+        self.lines_emitted += 1
+
+    def render(self, now: Optional[float] = None, *,
+               final: bool = False) -> str:
+        """The current heartbeat line (exposed for tests)."""
+        if now is None:
+            now = self._clock()
+        elapsed = max(now - self._start, 1e-9)
+        trials_done = self._records // self._cells if self._cells else 0
+        trials_per_second = (
+            self._records / self._cells / elapsed if self._cells else 0.0
+        )
+        done_cells = sum(
+            1 for count in self._cell_counts
+            if count >= self._per_cell_expected
+        )
+        percent = (
+            100.0 * self._records / self._total_records
+            if self._total_records else 100.0
+        )
+        if final:
+            eta = "done"
+        elif trials_per_second > 0:
+            remaining = max(
+                self._total_records - self._records, 0
+            ) / self._cells
+            eta = f"ETA {remaining / trials_per_second:.1f}s"
+        else:
+            eta = "ETA ?"
+        return (
+            f"progress: {trials_done}/{self._total_trials} trials "
+            f"({percent:.1f}%) | {trials_per_second:.1f} trials/s | "
+            f"{eta} | cells {done_cells}/{self._cells} done"
+        )

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -46,6 +47,7 @@ from typing import (
 )
 
 from ..netbase.errors import ReproError
+from ..obs.metrics import MetricsRegistry, get_registry
 
 if TYPE_CHECKING:  # pragma: no cover — typing only; runtime imports
     # are deferred because repro.exper.aggregate imports this package.
@@ -302,7 +304,13 @@ class JsonlSink(ResultSink):
     force each line to stable storage (slower, stronger).
     """
 
-    def __init__(self, path: Union[str, Path], *, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        fsync: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.path = Path(path)
         self.fsync = fsync
         self._fh = None
@@ -310,6 +318,16 @@ class JsonlSink(ResultSink):
         self._scanned: Optional[
             Tuple[Optional[RunHeader], List["TrialRecord"], int]
         ] = None
+        # Sink telemetry under the ``results.`` namespace: how many
+        # records and bytes went to disk, and what each flushed write
+        # cost (fsync shows up here immediately).
+        view = (
+            registry if registry is not None else get_registry()
+        ).view("results")
+        self._metrics_enabled = view.enabled
+        self._records_written = view.counter("records_written")
+        self._bytes_written = view.counter("bytes_written")
+        self._flush_latency = view.histogram("flush_latency")
 
     # -- scanning ------------------------------------------------------
 
@@ -362,8 +380,17 @@ class JsonlSink(ResultSink):
             raise ReproError(
                 f"sink {self.path} received a record before begin()"
             )
-        self._fh.write(_encode_line(record.to_json_dict()))
+        line = _encode_line(record.to_json_dict())
+        if not self._metrics_enabled:
+            self._fh.write(line)
+            self._flush()
+            return
+        start = time.perf_counter()
+        self._fh.write(line)
         self._flush()
+        self._flush_latency.observe(time.perf_counter() - start)
+        self._records_written.inc()
+        self._bytes_written.inc(len(line))
 
     def finish(self, trial_counts: Sequence[int]) -> None:
         if self._fh is not None:

@@ -10,7 +10,9 @@ Endpoints:
   decision as JSON (state, reason, matched VRP, covering VRPs).
 * ``POST /validity`` — batch: ``{"queries": [{"asn": ..., "prefix":
   ...}, ...]}`` in, ``{"results": [...]}`` out.
-* ``GET /metrics`` — the shared :class:`ServeMetrics` snapshot.
+* ``GET /metrics`` — the shared :class:`ServeMetrics` snapshot as
+  JSON; ``GET /metrics?format=prometheus`` serves the same registry
+  in the Prometheus text exposition format instead.
 * ``GET /status`` — VRP count and snapshot serial.
 * ``GET /experiments`` — live + archived experiment runs known to the
   attached :class:`~repro.results.live.RunRegistry` (summaries).
@@ -50,6 +52,20 @@ _EXECUTOR_BATCH_THRESHOLD = 512
 
 class HttpRequestError(ReproError):
     """Client-side error: reported as a 400 response, not a crash."""
+
+
+class _TextPayload:
+    """A non-JSON response body: ``_respond`` sends it verbatim."""
+
+    __slots__ = ("content_type", "text")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
+#: Content type Prometheus scrapers expect for the text exposition.
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class QueryHttpServer:
@@ -201,10 +217,15 @@ class QueryHttpServer:
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed"}.get(status, "OK")
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _TextPayload):
+            content_type = payload.content_type
+            body = payload.text.encode("utf-8")
+        else:
+            content_type = "application/json"
+            body = json.dumps(payload).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
@@ -225,6 +246,17 @@ class QueryHttpServer:
         if url.path == "/validity" and method == "POST":
             return 200, await self._batch_query(body)
         if url.path == "/metrics" and method == "GET":
+            fmt = (parse_qs(url.query).get("format") or ["json"])[0]
+            if fmt == "prometheus":
+                return 200, _TextPayload(
+                    self.metrics.render_prometheus(),
+                    _PROMETHEUS_CONTENT_TYPE,
+                )
+            if fmt != "json":
+                raise HttpRequestError(
+                    f"unknown metrics format {fmt!r}; "
+                    f"expected json or prometheus"
+                )
             return 200, self.metrics.snapshot()
         if url.path == "/status" and method == "GET":
             return 200, {

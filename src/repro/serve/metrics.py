@@ -4,70 +4,34 @@ The paper's deployment argument (§6) is quantitative — operators adopt
 the local cache only if its costs are visible and small — so the
 serving tier measures itself: connection churn, PDU/byte volume, how
 often a frame actually had to be encoded (the fan-out win), and query
-latency.  Everything is standard library, cheap enough to leave on in
-benchmarks, and thread-safe so the asyncio loop and synchronous
-callers (e.g. :meth:`LocalCache.refresh_from_vrps` on another thread)
-can share one instance.
+latency.
+
+Since the :mod:`repro.obs` telemetry layer landed, :class:`ServeMetrics`
+is a *view* onto a :class:`~repro.obs.MetricsRegistry` (its counters
+live under the ``serve.`` namespace) with its historical public API and
+``snapshot()`` shape unchanged.  By default each instance gets a
+private registry — two servers never share counters by accident — but
+passing the process registry (``ServeMetrics(registry=obs.
+get_registry())``, what ``repro-roa serve`` does) folds the serve
+counters into the same registry the experiment engine and kernels
+record into, so one ``GET /metrics?format=prometheus`` scrape sees the
+whole process.  Everything stays standard library, cheap enough to
+leave on in benchmarks, and thread-safe so the asyncio loop and
+synchronous callers (e.g. :meth:`LocalCache.refresh_from_vrps` on
+another thread) can share one instance.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, Optional
 
+from ..obs.metrics import (
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
 __all__ = ["LatencyHistogram", "ServeMetrics"]
-
-
-class LatencyHistogram:
-    """Power-of-two latency buckets (microseconds), with quantiles.
-
-    Buckets cover <1us up to >=2^(buckets-2) ms-scale outliers; each
-    observation lands in ``floor(log2(us)) + 1`` (0 for sub-us).  Fixed
-    buckets keep ``observe`` allocation-free on the query hot path.
-    """
-
-    BUCKETS = 24  # up to ~8.4 s
-
-    def __init__(self) -> None:
-        self._counts = [0] * self.BUCKETS
-        self.count = 0
-        self.total_seconds = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.observe_many(seconds, 1)
-
-    def observe_many(self, seconds: float, n: int) -> None:
-        """Record ``n`` observations of the same per-item latency
-        (amortized batch timing) in O(1)."""
-        us = int(seconds * 1e6)
-        index = us.bit_length()  # 0 -> bucket 0, 1us -> 1, 2-3us -> 2, ...
-        if index >= self.BUCKETS:
-            index = self.BUCKETS - 1
-        self._counts[index] += n
-        self.count += n
-        self.total_seconds += seconds * n
-
-    def quantile(self, q: float) -> float:
-        """Upper bound (seconds) of the bucket holding quantile ``q``."""
-        if not self.count:
-            return 0.0
-        target = q * self.count
-        seen = 0
-        for index, bucket in enumerate(self._counts):
-            seen += bucket
-            if seen >= target:
-                return (1 << index) / 1e6
-        return (1 << (self.BUCKETS - 1)) / 1e6
-
-    def snapshot(self) -> Dict[str, float]:
-        mean = self.total_seconds / self.count if self.count else 0.0
-        return {
-            "count": self.count,
-            "mean_us": mean * 1e6,
-            "p50_us": self.quantile(0.50) * 1e6,
-            "p90_us": self.quantile(0.90) * 1e6,
-            "p99_us": self.quantile(0.99) * 1e6,
-        }
 
 
 class ServeMetrics:
@@ -105,43 +69,60 @@ class ServeMetrics:
         "records_published",
     )
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {name: 0 for name in self._COUNTERS}
-        self.query_latency = LatencyHistogram()
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._view = self.registry.view("serve")
+        # Pre-register the known counters so snapshots always carry the
+        # full set (zeros included), exactly as before the registry.
+        self._counters: Dict[str, Counter] = {
+            name: self._view.counter(name) for name in self._COUNTERS
+        }
+        self.query_latency = self._view.histogram("query_latency")
+
+    def _counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = self._view.counter(name)
+        return counter
 
     def increment(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
+        self._counter(name).inc(amount)
 
     def observe_query(self, seconds: float) -> None:
-        with self._lock:
-            self._counters["queries"] += 1
-            self.query_latency.observe(seconds)
+        self._counters["queries"].inc()
+        self.query_latency.observe(seconds)
 
     def observe_queries(self, per_query_seconds: float, n: int) -> None:
         """Record ``n`` queries at an amortized per-query latency."""
-        with self._lock:
-            self._counters["queries"] += n
-            self.query_latency.observe_many(per_query_seconds, n)
+        self._counters["queries"].inc(n)
+        self.query_latency.observe_many(per_query_seconds, n)
 
     def __getitem__(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+        counter = self._counters.get(name)
+        return 0 if counter is None else counter.value
 
     @property
     def connections_active(self) -> int:
-        with self._lock:
-            return (self._counters["connections_opened"]
-                    - self._counters["connections_closed"])
+        return (self._counters["connections_opened"].value
+                - self._counters["connections_closed"].value)
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-ready view of every counter plus latency quantiles."""
-        with self._lock:
-            view: Dict[str, object] = dict(self._counters)
+        view: Dict[str, object] = {
+            name: counter.value for name, counter in self._counters.items()
+        }
         view["connections_active"] = self.connections_active
         view["query_latency"] = self.query_latency.snapshot()
         return view
+
+    def render_prometheus(self) -> str:
+        """The whole backing registry in Prometheus text exposition
+        format, plus the derived ``serve_connections_active`` gauge."""
+        return (
+            self.registry.render_prometheus()
+            + "# TYPE serve_connections_active gauge\n"
+            + f"serve_connections_active {self.connections_active}\n"
+        )
 
 
 def ensure_metrics(metrics: Optional[ServeMetrics]) -> ServeMetrics:

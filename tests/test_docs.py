@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import importlib
 import inspect
+import json
 import os
 import pkgutil
 import re
@@ -34,6 +35,7 @@ REPO = Path(__file__).resolve().parent.parent
 DOCS = REPO / "docs"
 EXPERIMENTS_DOC = DOCS / "experiments.md"
 RESULTS_DOC = DOCS / "results.md"
+OBSERVABILITY_DOC = DOCS / "observability.md"
 
 _FENCE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -170,11 +172,52 @@ class TestResultsDocExamples:
             )
 
 
+class TestObservabilityDocExamples:
+    """docs/observability.md commands run in order in one working
+    directory (like results.md); afterwards the ``--trace`` example
+    must have left a loadable Chrome-trace JSON behind."""
+
+    def test_doc_has_commands_at_all(self):
+        assert _doc_commands(OBSERVABILITY_DOC), (
+            "observability.md lost its repro-roa commands"
+        )
+
+    def test_commands_run_in_sequence(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (str(REPO / "src"), env.get("PYTHONPATH"))
+            if part
+        )
+        for command, _ in _doc_commands(OBSERVABILITY_DOC):
+            argv = shlex.split(command)
+            assert argv[0] == "repro-roa"
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.cli", *argv[1:]],
+                cwd=tmp_path,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert completed.returncode == 0, (
+                f"{command!r} exited {completed.returncode}:\n"
+                f"{completed.stderr}"
+            )
+            if "--progress" in argv:
+                assert "progress:" in completed.stderr
+        trace = tmp_path / "trace.json"
+        assert trace.is_file(), "the --trace example wrote no trace file"
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        assert isinstance(document["traceEvents"], list)
+        assert document["traceEvents"], "trace file has no events"
+
+
 class TestDocsTree:
     def test_pages_exist(self):
         for name in (
             "architecture.md", "experiments.md", "serving.md",
-            "results.md",
+            "results.md", "observability.md",
         ):
             assert (DOCS / name).is_file(), f"docs/{name} missing"
         assert (REPO / "README.md").is_file()
@@ -197,7 +240,8 @@ class TestDocstringPolicy:
     """New public surface in the scaled subsystems must be documented."""
 
     @pytest.mark.parametrize(
-        "package_name", ["repro.exper", "repro.serve", "repro.results"]
+        "package_name",
+        ["repro.exper", "repro.serve", "repro.results", "repro.obs"],
     )
     def test_public_symbols_have_docstrings(self, package_name):
         package = importlib.import_module(package_name)

@@ -465,14 +465,22 @@ async def http_request(host, port, request: bytes) -> tuple[int, dict]:
 
 
 async def read_response(reader) -> tuple[int, dict]:
+    status, _, body = await read_raw_response(reader)
+    return status, json.loads(body)
+
+
+async def read_raw_response(reader) -> tuple[int, bytes, bytes]:
     head = await reader.readuntil(b"\r\n\r\n")
     status = int(head.split(b" ", 2)[1])
     length = 0
+    content_type = b""
     for line in head.split(b"\r\n"):
         if line.lower().startswith(b"content-length:"):
             length = int(line.split(b":")[1])
+        elif line.lower().startswith(b"content-type:"):
+            content_type = line.split(b":", 1)[1].strip()
     body = await reader.readexactly(length)
-    return status, json.loads(body)
+    return status, content_type, body
 
 
 class TestHttpServer:
@@ -534,6 +542,47 @@ class TestHttpServer:
             assert metrics["http_requests"] == 2
             assert metrics["queries"] == 1
             writer.close()
+
+        self.run_with_server(scenario)
+
+    def test_metrics_prometheus_format(self):
+        async def scenario(http):
+            reader, writer = await asyncio.open_connection(http.host, http.port)
+            writer.write(b"GET /validity?asn=111&prefix=168.122.0.0%2F16 "
+                         b"HTTP/1.1\r\n\r\n")
+            await read_response(reader)
+            writer.write(b"GET /metrics?format=prometheus HTTP/1.1\r\n"
+                         b"Connection: close\r\n\r\n")
+            status, content_type, body = await read_raw_response(reader)
+            writer.close()
+            assert status == 200
+            assert content_type.startswith(b"text/plain")
+            assert b"version=0.0.4" in content_type
+            text = body.decode("utf-8")
+            values = {}
+            for line in text.splitlines():
+                if line.startswith("# TYPE "):
+                    continue
+                series, value = line.rsplit(" ", 1)
+                values[series] = float(value)
+            assert values["serve_queries"] == 1
+            assert values["serve_http_requests"] == 2
+            # The derived gauge is always exposed (HTTP connections are
+            # not counted in connections_opened — only RTR sessions are).
+            assert "serve_connections_active" in values
+            assert "# TYPE serve_query_latency histogram" in text
+            assert values["serve_query_latency_count"] == 1
+
+        self.run_with_server(scenario)
+
+    def test_metrics_unknown_format_is_400(self):
+        async def scenario(http):
+            status, document = await http_request(
+                http.host, http.port,
+                b"GET /metrics?format=xml HTTP/1.1\r\n"
+                b"Connection: close\r\n\r\n")
+            assert status == 400
+            assert "error" in document
 
         self.run_with_server(scenario)
 
