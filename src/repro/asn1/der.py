@@ -14,7 +14,7 @@ tree.  Higher layers (:mod:`repro.rpki.roa`) do the schema mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Union
 
 from ..netbase.errors import ReproError
 
@@ -74,12 +74,14 @@ class BitString:
 
 @dataclass(frozen=True)
 class OctetString:
+    """ASN.1 OCTET STRING: an opaque byte payload."""
+
     value: bytes
 
 
 @dataclass(frozen=True)
 class Null:
-    pass
+    """ASN.1 NULL (always encodes as ``05 00``)."""
 
 
 @dataclass(frozen=True)
@@ -100,6 +102,8 @@ class ObjectIdentifier:
 
 @dataclass(frozen=True)
 class Utf8String:
+    """ASN.1 UTF8String: a Unicode text value."""
+
     value: str
 
 

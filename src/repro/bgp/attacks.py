@@ -280,7 +280,7 @@ def evaluate_attack_seeds(
     attacker_count = 0
     victim_count = 0
     disconnected = 0
-    for asn in judged:
+    for asn in sorted(judged):
         route = _preferred_route(asn, attack_routes, covering_routes)
         if route is None:
             disconnected += 1

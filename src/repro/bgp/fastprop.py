@@ -822,7 +822,7 @@ def evaluate_attack_seeds_array(
 
     attackers = frozenset(seed.asn for seed in attacker_seeds)
     cast = [index_of[victim]] if victim in index_of else []
-    for asn in attackers:
+    for asn in sorted(attackers):
         i = index_of.get(asn)
         if i is not None and i not in cast:
             cast.append(i)

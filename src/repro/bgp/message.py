@@ -21,8 +21,8 @@ encoding for both families.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import ClassVar, Iterable, Optional, Union
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Union
 
 from ..netbase import AF_INET, AF_INET6, Prefix, validate_asn
 from ..netbase.errors import ReproError
@@ -380,6 +380,8 @@ class UpdateMessage:
 
 @dataclass(frozen=True)
 class KeepaliveMessage:
+    """BGP KEEPALIVE (RFC 4271 §4.4): header only, empty body."""
+
     message_type: ClassVar[int] = TYPE_KEEPALIVE
 
     def body(self) -> bytes:
@@ -394,6 +396,8 @@ class KeepaliveMessage:
 
 @dataclass(frozen=True)
 class NotificationMessage:
+    """BGP NOTIFICATION (RFC 4271 §4.5): error code, subcode, data."""
+
     error_code: int
     error_subcode: int = 0
     data: bytes = b""

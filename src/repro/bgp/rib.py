@@ -11,7 +11,7 @@ way a real BGP speaker does before selection.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Iterator, Optional
 
 from ..netbase import AF_INET, AF_INET6, Prefix, RadixTree
 from .announcement import Announcement

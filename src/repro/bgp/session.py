@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Iterable, Optional
+from typing import Optional
 
 from ..netbase import Prefix
 from ..netbase.errors import ReproError

@@ -9,7 +9,10 @@ Subcommands mirror the paper's workflow:
 * ``generate``  — synthesize a dated snapshot to CSV + RIB files.
 * ``table1``    — print Table 1 for a snapshot (from files or synthetic).
 * ``figure3``   — print both Figure 3 panels from the weekly series.
-* ``lint``      — review ROAs against the BGP table (§8 advice as code).
+* ``roa-lint``  — review ROAs against the BGP table (§8 advice as code).
+* ``lint``      — the :mod:`repro.lint` invariant linter over the
+  library's own sources (RNG discipline, import layering, async
+  safety, docstring policy); gates CI.
 * ``rtr-serve`` — serve a VRP CSV to routers over RPKI-to-Router
   (legacy thread-per-connection server).
 * ``serve``     — the full serving tier: async high-fanout RTR
@@ -38,6 +41,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -62,6 +66,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro-roa`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro-roa",
         description="MaxLength-considered-harmful reproduction toolkit",
@@ -101,13 +106,31 @@ def build_parser() -> argparse.ArgumentParser:
     figure3.add_argument("--scale", type=float, default=0.02)
     figure3.add_argument("--seed", type=int, default=20170601)
 
-    lint = sub.add_parser(
-        "lint", help="review VRPs-as-ROAs against the BGP table (§8)"
+    roa_lint = sub.add_parser(
+        "roa-lint", help="review VRPs-as-ROAs against the BGP table (§8)"
     )
-    lint.add_argument("vrps", help="input VRP CSV")
-    lint.add_argument("rib", help="BGP table (prefix|origin lines)")
-    lint.add_argument("--errors-only", action="store_true",
-                      help="print only ROAs with ERROR findings")
+    roa_lint.add_argument("vrps", help="input VRP CSV")
+    roa_lint.add_argument("rib", help="BGP table (prefix|origin lines)")
+    roa_lint.add_argument("--errors-only", action="store_true",
+                          help="print only ROAs with ERROR findings")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.lint invariant linter over python sources",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the installed "
+             "repro package)",
+    )
+    lint.add_argument(
+        "--rule", action="append", metavar="RULE",
+        help="run only this rule id (repeatable, e.g. --rule RNG001)",
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="emit the findings as JSON (schema 1)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
 
     rtr_serve = sub.add_parser(
         "rtr-serve", help="serve VRPs over RTR (legacy threaded server)"
@@ -331,7 +354,7 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
+def _cmd_roa_lint(args: argparse.Namespace) -> int:
     announced = list(read_origin_pairs(args.rib))
     # Group VRP rows into per-AS ROAs: the CSV does not preserve ROA
     # boundaries, so each AS's tuples are reviewed as one ROA.
@@ -356,6 +379,38 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if errors == 0 else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .lint import (
+        EXIT_CLEAN,
+        EXIT_FINDINGS,
+        EXIT_USAGE,
+        LintUsageError,
+        lint_paths,
+        render_text,
+        rule_catalog,
+        to_json,
+    )
+
+    if args.list_rules:
+        for rule_id, summary in rule_catalog().items():
+            print(f"{rule_id}  {summary}")
+        return EXIT_CLEAN
+    # No paths: lint the installed library itself, wherever it lives.
+    paths = args.paths or [Path(__file__).resolve().parent]
+    try:
+        findings = lint_paths(paths, rules=args.rule)
+    except LintUsageError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(json.dumps(to_json(findings), indent=2))
+    else:
+        print(render_text(findings))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
 
 
 def _cmd_rtr_serve(args: argparse.Namespace) -> int:
@@ -531,7 +586,6 @@ def _experiment_spec_from_args(args: argparse.Namespace):
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import json
-    import random
 
     from .exper import ExperimentRunner
     from .netbase.errors import ReproError
@@ -681,6 +735,7 @@ _COMMANDS = {
     "minimal": _cmd_minimal,
     "analyze": _cmd_analyze,
     "generate": _cmd_generate,
+    "roa-lint": _cmd_roa_lint,
     "lint": _cmd_lint,
     "table1": _cmd_table1,
     "figure3": _cmd_figure3,
@@ -692,6 +747,7 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: parse ``argv`` and dispatch to the subcommand."""
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

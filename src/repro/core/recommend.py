@@ -59,6 +59,8 @@ class Severity(enum.IntEnum):
 
 
 class FindingCode(str, enum.Enum):
+    """Machine-readable identifiers for the §8 ROA-review findings."""
+
     VULNERABLE_MAXLENGTH = "vulnerable-maxlength"
     OWN_ROUTE_INVALID = "own-route-invalid"
     UNUSED_ENTRY = "unused-entry"

@@ -155,6 +155,9 @@ def generate_keypair(bits: int = 1024, rng: random.Random | None = None) -> RsaP
     if bits < 512:
         raise SignatureError(f"modulus of {bits} bits is below the supported minimum")
     if rng is None:
+        # The library's one sanctioned global-RNG touch: seeding the
+        # injectable generator itself requires OS entropy.
+        # repro-lint: disable=RNG001
         rng = random.Random(random.SystemRandom().getrandbits(64))
     e = 65537
     while True:

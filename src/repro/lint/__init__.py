@@ -1,0 +1,71 @@
+"""``repro.lint`` — the repo's invariants as a static-analysis pass.
+
+The reproduction's scientific claims rest on properties the test
+suite can only check *dynamically* and expensively: byte-identical
+results across executors and engines, stdlib-only portability, and
+the determinism of seeded trials that makes resume and sharding
+possible.  This package checks the classes of regression that break
+those properties at **parse time**, before any golden test has to
+fail:
+
+* :mod:`rules <repro.lint.rules>` — the catalog: RNG discipline
+  (RNG001/RNG002), the stdlib-only contract and import layering
+  (DEP001/DEP002), async safety in the serve tier (ASY001), and the
+  public-docstring policy (DOC001);
+* :mod:`engine <repro.lint.engine>` — discovery, parsing, module-name
+  inference, and the driver;
+* :mod:`suppress <repro.lint.suppress>` — per-line
+  ``# repro-lint: disable=RULE`` suppressions;
+* :mod:`report <repro.lint.report>` — text/JSON reporters and exit
+  codes.
+
+CLI: ``repro-roa lint [--json] [--rule RULE] [paths]`` (defaults to
+the installed ``repro`` package); the CI ``lint`` job gates every
+push on a clean tree.  See ``docs/linting.md`` for the rule catalog
+and suppression syntax.  The package is stdlib-only and imports
+nothing else from ``repro`` — it has to pass its own layering rule.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    PARSE_RULE,
+    discover_files,
+    iter_suppressions,
+    lint_paths,
+    lint_source,
+    lint_sources,
+    module_name_for,
+)
+from .model import Finding, LintUsageError, SourceModule, SuppressionSite
+from .report import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    render_text,
+    to_json,
+)
+from .rules import Rule, make_rules, register, rule_catalog
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "Finding",
+    "LintUsageError",
+    "PARSE_RULE",
+    "Rule",
+    "SourceModule",
+    "SuppressionSite",
+    "discover_files",
+    "iter_suppressions",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+    "make_rules",
+    "module_name_for",
+    "register",
+    "render_text",
+    "rule_catalog",
+    "to_json",
+]

@@ -1,0 +1,209 @@
+"""File discovery, module-name inference, and the lint driver.
+
+The engine is deliberately small: discover ``.py`` files, parse each
+one once into a :class:`~repro.lint.model.SourceModule` (AST +
+suppression map + inferred dotted module name), hand the batch to
+every selected rule, filter suppressed findings, and return a sorted
+list.  Sources that fail to parse become a finding under the pseudo-
+rule ``PARSE`` rather than aborting the run — a linter that dies on
+the file it should be reporting is useless in CI.
+
+Module names are inferred from the package layout (directories with
+``__init__.py``), so ``src/repro/exper/runner.py`` lints as
+``repro.exper.runner`` no matter where the repo is checked out, and a
+stray file outside any package gets no repro rules applied.  Tests
+lint virtual sources with an explicit module name via
+:func:`lint_source` / :func:`lint_sources` to opt fixtures into a
+rule's jurisdiction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import ast
+
+from .model import Finding, LintUsageError, SourceModule, SuppressionSite
+from .rules import make_rules
+from .suppress import comment_sites, parse_suppressions
+
+__all__ = [
+    "PARSE_RULE",
+    "discover_files",
+    "iter_suppressions",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+    "module_name_for",
+]
+
+#: Pseudo-rule id used for files that fail to parse or read.
+PARSE_RULE = "PARSE"
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name implied by the package layout.
+
+    Walks parent directories for as long as they contain an
+    ``__init__.py``; a file outside any package is just its stem.
+    """
+    path = path.resolve()
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:  # pragma: no cover — filesystem root
+            break
+        current = parent
+    return ".".join(parts)
+
+
+def discover_files(paths: Sequence) -> List[Path]:
+    """Expand files and directories into a deduplicated ``.py`` list."""
+    files: List[Path] = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            batch: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            batch = [path]
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+        for file in batch:
+            resolved = file.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(file)
+    return files
+
+
+def _load_source(
+    text: str, *, path: str, module: str, is_package: bool
+) -> Tuple[Optional[SourceModule], Optional[Finding]]:
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            path, exc.lineno or 1, exc.offset or 1, PARSE_RULE,
+            f"syntax error: {exc.msg}",
+        )
+    source = SourceModule(
+        path=path,
+        module=module,
+        source=text,
+        tree=tree,
+        suppressions=parse_suppressions(text),
+        is_package=is_package,
+    )
+    return source, None
+
+
+def _load_file(
+    path: Path,
+) -> Tuple[Optional[SourceModule], Optional[Finding]]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, Finding(
+            str(path), 1, 1, PARSE_RULE, f"unreadable source: {exc}",
+        )
+    return _load_source(
+        text,
+        path=str(path),
+        module=module_name_for(path),
+        is_package=path.name == "__init__.py",
+    )
+
+
+def _run_rules(
+    sources: Sequence[SourceModule], rules: Optional[Sequence[str]]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in make_rules(rules):
+        applicable = [
+            source for source in sources if rule.applies_to(source.module)
+        ]
+        for source in applicable:
+            findings.extend(rule.check_module(source))
+        findings.extend(rule.check_project(applicable))
+    by_path = {source.path: source.suppressions for source in sources}
+    return [
+        finding
+        for finding in findings
+        if finding.rule
+        not in by_path.get(finding.path, {}).get(finding.line, frozenset())
+    ]
+
+
+def lint_paths(
+    paths: Sequence, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint files and directories; returns sorted findings.
+
+    ``rules`` restricts the run to the given rule ids (default: every
+    registered rule).  Unknown rules and missing paths raise
+    :class:`~repro.lint.model.LintUsageError`.
+    """
+    sources: List[SourceModule] = []
+    findings: List[Finding] = []
+    for file in discover_files(paths):
+        source, parse_finding = _load_file(file)
+        if parse_finding is not None:
+            findings.append(parse_finding)
+        elif source is not None:
+            sources.append(source)
+    findings.extend(_run_rules(sources, rules))
+    return sorted(findings)
+
+
+def lint_sources(
+    items: Sequence[Tuple[str, str]],
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint in-memory sources given as ``(module_name, text)`` pairs.
+
+    The fixture entry point: tests hand the engine snippets under
+    chosen module names (``repro.exper._fixture``) to exercise scoped
+    rules without touching the filesystem.  Paths in the returned
+    findings are ``<module_name>``.
+    """
+    sources: List[SourceModule] = []
+    findings: List[Finding] = []
+    for module, text in items:
+        source, parse_finding = _load_source(
+            text, path=f"<{module}>", module=module, is_package=False
+        )
+        if parse_finding is not None:
+            findings.append(parse_finding)
+        elif source is not None:
+            sources.append(source)
+    findings.extend(_run_rules(sources, rules))
+    return sorted(findings)
+
+
+def lint_source(
+    text: str, *, module: str, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint a single in-memory source under an explicit module name."""
+    return lint_sources([(module, text)], rules)
+
+
+def iter_suppressions(paths: Sequence) -> List[SuppressionSite]:
+    """Every ``# repro-lint: disable=`` comment under ``paths``.
+
+    One :class:`~repro.lint.model.SuppressionSite` per comment, in
+    (path, line) order — the audit view tests use to pin the
+    suppression inventory.
+    """
+    sites: List[SuppressionSite] = []
+    for file in discover_files(paths):
+        try:
+            text = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        for line, rule_ids, _standalone in comment_sites(text):
+            sites.append(SuppressionSite(str(file), line, rule_ids))
+    return sites

@@ -1,0 +1,53 @@
+"""Reporters and exit codes for :mod:`repro.lint`.
+
+Two output shapes: a compiler-style text report (``path:line:col:
+RULE message``, one finding per line) and a versioned JSON document
+for tooling.  Exit codes follow the usual linter convention:
+``EXIT_CLEAN`` (0) no findings, ``EXIT_FINDINGS`` (1) at least one
+finding, ``EXIT_USAGE`` (2) bad invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .model import Finding
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "render_text",
+    "to_json",
+]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """The human-readable report: one line per finding plus a tally."""
+    if not findings:
+        return "repro-lint: clean (0 findings)"
+    lines = [finding.render() for finding in findings]
+    lines.append(f"repro-lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def to_json(findings: Sequence[Finding]) -> dict:
+    """The machine-readable report (``schema: 1``)."""
+    return {
+        "schema": 1,
+        "count": len(findings),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }

@@ -1,0 +1,110 @@
+"""Async safety: no blocking calls inside the serve tier's event loop.
+
+**ASY001** — the serve tier is one asyncio loop fanning a table encode
+out to every connected router; a single blocking call inside an
+``async def`` stalls every session at once.  Flagged inside async
+function bodies in ``repro.serve``:
+
+* ``time.sleep(...)`` — use ``await asyncio.sleep(...)``;
+* bare ``open(...)`` and ``Path.read_text/write_text/read_bytes/
+  write_bytes`` — do file I/O before entering the loop or in a thread;
+* any ``subprocess.*`` / ``os.system`` / ``os.popen`` call;
+* synchronous socket module calls (``socket.create_connection``,
+  ``socket.getaddrinfo``, ...) and socket-shaped methods
+  (``.accept()``, ``.recv()``, ``.connect()``, ``.sendall()``, ...) —
+  use asyncio streams or ``loop.sock_*``.
+
+Synchronous helper functions *defined* inside an async body are not
+walked: they run wherever they are called from, which the caller's
+own context judges.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..model import Finding, SourceModule
+from .base import Rule, register
+
+__all__ = ["BlockingCallRule"]
+
+# module.attr calls that block the loop outright.
+_BLOCKING_MODULE_CALLS = {
+    "time": frozenset({"sleep"}),
+    "os": frozenset({"system", "popen", "waitpid", "wait"}),
+    "socket": frozenset({
+        "create_connection", "getaddrinfo", "gethostbyname",
+        "gethostbyaddr", "getfqdn",
+    }),
+}
+# Any call on the subprocess module blocks or forks; all flagged.
+_BLOCKING_MODULES = frozenset({"subprocess"})
+# Method names that are socket/file blocking operations on any receiver.
+_BLOCKING_METHODS = frozenset({
+    "accept", "recv", "recv_into", "recvfrom", "sendall", "connect",
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+
+def _blocking_reason(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return ("bare open() blocks the event loop; read the file "
+                    "before entering the loop or use a thread")
+        return ""
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        if isinstance(func.value, ast.Name):
+            module = func.value.id
+            if module in _BLOCKING_MODULES:
+                return (f"{module}.{attr}() blocks the event loop; "
+                        f"use asyncio.create_subprocess_*")
+            if attr in _BLOCKING_MODULE_CALLS.get(module, ()):
+                hint = (
+                    "use `await asyncio.sleep(...)`"
+                    if (module, attr) == ("time", "sleep")
+                    else "use the asyncio equivalent"
+                )
+                return f"{module}.{attr}() blocks the event loop; {hint}"
+        if attr in _BLOCKING_METHODS:
+            return (f".{attr}() looks like a blocking socket/file "
+                    f"operation; use asyncio streams or loop.sock_*")
+    return ""
+
+
+@register
+class BlockingCallRule(Rule):
+    """ASY001: no blocking calls inside async def bodies in repro.serve."""
+
+    rule_id = "ASY001"
+    summary = (
+        "no blocking calls (time.sleep, bare open(), subprocess, "
+        "synchronous socket ops) inside async def bodies in the serve "
+        "tier"
+    )
+    packages = ("serve",)
+
+    def check_module(self, src: SourceModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        def visit(node: ast.AST, in_async: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.AsyncFunctionDef):
+                    visit(child, True)
+                    continue
+                if isinstance(child, (ast.FunctionDef, ast.Lambda)):
+                    visit(child, False)
+                    continue
+                if in_async and isinstance(child, ast.Call):
+                    reason = _blocking_reason(child)
+                    if reason:
+                        findings.append(Finding(
+                            src.path, child.lineno, child.col_offset + 1,
+                            self.rule_id, reason,
+                        ))
+                visit(child, in_async)
+
+        visit(src.tree, False)
+        return findings

@@ -1,0 +1,90 @@
+"""The rule protocol and the rule registry.
+
+A rule is a class with a ``rule_id``, a one-line ``summary``, and two
+hooks: :meth:`Rule.check_module` runs once per applicable source file,
+:meth:`Rule.check_project` runs once over all applicable files (for
+cross-file analyses like import-cycle detection).  Registration is a
+decorator; the registry is the single source of truth the CLI's
+``--rule`` / ``--list-rules`` flags and the reporters consult.
+
+Scoping: rules only ever judge modules inside the ``repro`` package —
+the invariants they encode are library contracts, not universal style.
+A rule may narrow further to specific sub-packages via ``packages``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from ..model import Finding, LintUsageError, SourceModule
+
+__all__ = ["Rule", "make_rules", "register", "rule_catalog"]
+
+
+class Rule:
+    """Base class for lint rules; subclass and decorate with @register."""
+
+    rule_id: str = ""
+    summary: str = ""
+    #: Top-level ``repro`` sub-packages this rule judges; None = all.
+    packages: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: str) -> bool:
+        """True when this rule has jurisdiction over ``module``."""
+        if not module:
+            return False
+        if module != "repro" and not module.startswith("repro."):
+            return False
+        if self.packages is None:
+            return True
+        parts = module.split(".")
+        return len(parts) > 1 and parts[1] in self.packages
+
+    def check_module(self, src: SourceModule) -> Iterable[Finding]:
+        """Per-file findings; default none."""
+        return ()
+
+    def check_project(
+        self, sources: Sequence[SourceModule]
+    ) -> Iterable[Finding]:
+        """Cross-file findings over every applicable module; default none."""
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (ids are unique)."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def rule_catalog() -> Dict[str, str]:
+    """``{rule_id: summary}`` for every registered rule, sorted by id."""
+    return {
+        rule_id: _REGISTRY[rule_id].summary for rule_id in sorted(_REGISTRY)
+    }
+
+
+def make_rules(selected: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the selected rules (default: all), sorted by id.
+
+    Unknown ids raise :class:`~repro.lint.model.LintUsageError` — the
+    CLI turns that into exit code 2.
+    """
+    if selected is None:
+        chosen = sorted(_REGISTRY)
+    else:
+        chosen = sorted({rule_id.upper() for rule_id in selected})
+        unknown = [rule_id for rule_id in chosen if rule_id not in _REGISTRY]
+        if unknown:
+            raise LintUsageError(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(_REGISTRY))}"
+            )
+    return [_REGISTRY[rule_id]() for rule_id in chosen]

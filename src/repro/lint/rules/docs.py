@@ -1,0 +1,85 @@
+"""Documentation policy as a static rule.
+
+**DOC001** — generalizes the runtime docstring policy that used to
+live only in ``tests/test_docs.py`` (and only for four packages) to
+the whole library, at parse time:
+
+* every module carries a module docstring;
+* every top-level class or function *defined in a module and listed
+  in that module's* ``__all__`` carries a docstring.
+
+Constants in ``__all__`` are exempt (they document themselves in
+context), as are re-exports — a name in a package ``__init__``'s
+``__all__`` that is defined elsewhere is judged in its defining
+module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..model import Finding, SourceModule
+from .base import Rule, register
+
+__all__ = ["DocstringRule"]
+
+
+def _declared_all(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    continue
+                names.update(
+                    name for name in value if isinstance(name, str)
+                )
+    return names
+
+
+@register
+class DocstringRule(Rule):
+    """DOC001: public surface must be documented."""
+
+    rule_id = "DOC001"
+    summary = (
+        "every module needs a docstring, and so does every top-level "
+        "class/function listed in its module's __all__"
+    )
+
+    def check_module(self, src: SourceModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if not (ast.get_docstring(src.tree) or "").strip():
+            findings.append(Finding(
+                src.path, 1, 1, self.rule_id,
+                f"module `{src.module}` has no docstring",
+            ))
+        exported = _declared_all(src.tree)
+        if not exported:
+            return findings
+        for node in src.tree.body:
+            if not isinstance(
+                node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if node.name not in exported:
+                continue
+            if not (ast.get_docstring(node) or "").strip():
+                kind = (
+                    "class" if isinstance(node, ast.ClassDef) else "function"
+                )
+                findings.append(Finding(
+                    src.path, node.lineno, node.col_offset + 1,
+                    self.rule_id,
+                    f"public {kind} `{node.name}` (exported via "
+                    f"__all__) has no docstring",
+                ))
+        return findings

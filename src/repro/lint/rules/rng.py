@@ -1,0 +1,235 @@
+"""RNG discipline rules.
+
+The repro's statistical claims rest on seeded, injected randomness:
+every random draw flows through a ``random.Random`` instance owned by
+the experiment spec, so trials are reproducible, shardable, and
+byte-identical across executors.  Two rules guard that contract:
+
+* **RNG001** — no use of the process-global ``random`` module API
+  anywhere in the library.  Only the ``Random`` class may be touched
+  (to construct injectable instances); ``random.random()``,
+  ``random.seed()``, ``random.shuffle()`` and friends all mutate one
+  hidden global Mersenne Twister that any import can perturb.
+  Function-local ``import random`` is also flagged: it hides RNG use
+  from review.  The single sanctioned exception — the OS-entropy
+  bootstrap in ``repro.crypto.rsa`` — carries an explicit
+  ``# repro-lint: disable=RNG001`` suppression.
+
+* **RNG002** — in result-affecting packages (``exper``, ``bgp``,
+  ``results``) no iteration over a set-valued expression unless it is
+  wrapped in ``sorted(...)``.  Set iteration order depends on
+  PYTHONHASHSEED; feeding it into a result or an RNG-consuming loop
+  silently breaks cross-run determinism.  (Dict iteration is exempt:
+  dicts preserve insertion order, which is deterministic when the
+  insertions are.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Set
+
+from ..model import Finding, SourceModule
+from .base import Rule, register
+
+__all__ = ["GlobalRandomRule", "SetIterationRule"]
+
+_ALLOWED_RANDOM_ATTRS = frozenset({"Random"})
+
+
+def _function_local_imports(tree: ast.Module) -> Iterator[ast.Import]:
+    """Yield ``import random`` statements nested inside function bodies."""
+
+    def visit(node: ast.AST, in_function: bool) -> Iterator[ast.Import]:
+        for child in ast.iter_child_nodes(node):
+            if in_function and isinstance(child, ast.Import):
+                if any(alias.name == "random" for alias in child.names):
+                    yield child
+            nested = in_function or isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            )
+            yield from visit(child, nested)
+
+    return visit(tree, False)
+
+
+@register
+class GlobalRandomRule(Rule):
+    """RNG001: randomness must flow through injected ``random.Random``."""
+
+    rule_id = "RNG001"
+    summary = (
+        "no process-global random module use: inject a seeded "
+        "random.Random (the crypto entropy bootstrap is the one "
+        "documented suppression)"
+    )
+
+    def check_module(self, src: SourceModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        aliases: Set[str] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name not in _ALLOWED_RANDOM_ATTRS:
+                            findings.append(Finding(
+                                src.path, node.lineno, node.col_offset + 1,
+                                self.rule_id,
+                                f"`from random import {alias.name}` binds "
+                                f"the process-global RNG; import Random "
+                                f"and inject a seeded instance",
+                            ))
+        for node in _function_local_imports(src.tree):
+            findings.append(Finding(
+                src.path, node.lineno, node.col_offset + 1, self.rule_id,
+                "function-local `import random` hides global-RNG use "
+                "from review; import at module scope and construct an "
+                "injected random.Random",
+            ))
+        if aliases:
+            for node in ast.walk(src.tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in aliases
+                    and node.attr not in _ALLOWED_RANDOM_ATTRS
+                ):
+                    findings.append(Finding(
+                        src.path, node.lineno, node.col_offset + 1,
+                        self.rule_id,
+                        f"`random.{node.attr}` uses the process-global "
+                        f"RNG; all randomness must flow through an "
+                        f"injected random.Random",
+                    ))
+        return findings
+
+
+_SET_FACTORIES = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+_SET_ANNOTATIONS = (
+    "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet",
+)
+# Calls whose result depends on the iteration order of their first
+# argument.  min/max/sum/len/any/all are order-independent, and
+# sorted() is the sanctioned canonicalizer, so none of those appear.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _annotation_is_set(node: ast.AST) -> bool:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover — unparse of valid AST
+        return False
+    text = text.removeprefix("typing.").removeprefix("t.")
+    return text in _SET_ANNOTATIONS or text.startswith(
+        tuple(f"{name}[" for name in _SET_ANNOTATIONS)
+    )
+
+
+def _directly_set_valued(node: ast.AST, set_names: frozenset) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_FACTORIES:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return _directly_set_valued(func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _directly_set_valued(
+            node.left, set_names
+        ) or _directly_set_valued(node.right, set_names)
+    return False
+
+
+def _set_valued_names(tree: ast.Module) -> frozenset:
+    """Names whose every assignment/annotation is set-valued.
+
+    Flow-insensitive and deliberately conservative: one non-set
+    assignment vetoes the name.
+    """
+    candidates: Set[str] = set()
+    vetoed: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            if len(node.targets) == 1 and isinstance(
+                node.targets[0], ast.Name
+            ):
+                name = node.targets[0].id
+                if _directly_set_valued(node.value, frozenset()):
+                    candidates.add(name)
+                else:
+                    vetoed.add(name)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                if _annotation_is_set(node.annotation):
+                    candidates.add(node.target.id)
+                else:
+                    vetoed.add(node.target.id)
+        elif isinstance(node, ast.arg):
+            if node.annotation is not None and _annotation_is_set(
+                node.annotation
+            ):
+                candidates.add(node.arg)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            # Loop variables shadow anything we inferred.
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    vetoed.add(target.id)
+    return frozenset(candidates - vetoed)
+
+
+@register
+class SetIterationRule(Rule):
+    """RNG002: no unsorted set iteration in result-affecting paths."""
+
+    rule_id = "RNG002"
+    summary = (
+        "result-affecting packages (exper, bgp, results) must not "
+        "iterate set-valued expressions unsorted: set order is "
+        "PYTHONHASHSEED-dependent; wrap in sorted(...)"
+    )
+    packages = ("exper", "bgp", "results")
+
+    def check_module(self, src: SourceModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        set_names = _set_valued_names(src.tree)
+
+        def check(expr: ast.AST) -> None:
+            if _directly_set_valued(expr, set_names):
+                findings.append(Finding(
+                    src.path, expr.lineno, expr.col_offset + 1,
+                    self.rule_id,
+                    "iteration order of a set is PYTHONHASHSEED-"
+                    "dependent and this is a result-affecting path; "
+                    "wrap the expression in sorted(...)",
+                ))
+
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                check(node.iter)
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                for generator in node.generators:
+                    check(generator.iter)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                ):
+                    check(node.args[0])
+        return findings

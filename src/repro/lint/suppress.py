@@ -1,0 +1,70 @@
+"""Parsing of ``# repro-lint: disable=RULE[,RULE...]`` comments.
+
+Semantics, kept deliberately small:
+
+* a trailing comment suppresses the listed rules on its own line::
+
+      value = random.SystemRandom()  # repro-lint: disable=RNG001
+
+* a comment that stands alone on its line also covers the line
+  directly below it — the form long lines need::
+
+      # repro-lint: disable=RNG001
+      value = random.Random(random.SystemRandom().getrandbits(64))
+
+There is no file- or block-scoped disable: every suppression is a
+visible, greppable, per-line decision, which is what lets the test
+suite assert e.g. that RNG001 is suppressed exactly once in the tree.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Tuple
+
+__all__ = ["comment_sites", "parse_suppressions"]
+
+_DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def comment_sites(source: str) -> List[Tuple[int, frozenset, bool]]:
+    """All suppression comments in ``source``.
+
+    Returns ``(line, rule_ids, standalone)`` triples, one per comment
+    — the inventory view used by :func:`repro.lint.iter_suppressions`.
+    """
+    sites: List[Tuple[int, frozenset, bool]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE.search(token.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip().upper()
+                for part in match.group(1).split(",")
+                if part.strip()
+            )
+            if not rules:
+                continue
+            standalone = token.line[: token.start[1]].strip() == ""
+            sites.append((token.start[0], rules, standalone))
+    except (tokenize.TokenError, IndentationError):
+        # The engine only tokenizes sources that already parsed as
+        # AST, so this is unreachable in practice; return what we saw.
+        pass
+    return sites
+
+
+def parse_suppressions(source: str) -> Dict[int, frozenset]:
+    """Map each line number to the rule ids suppressed on it."""
+    effective: Dict[int, set] = {}
+    for line, rules, standalone in comment_sites(source):
+        effective.setdefault(line, set()).update(rules)
+        if standalone:
+            effective.setdefault(line + 1, set()).update(rules)
+    return {line: frozenset(rules) for line, rules in effective.items()}

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..rpki.vrp import Vrp
 from ..rtr.pdu import (
     CacheResponsePdu,
     EndOfDataPdu,

@@ -82,8 +82,8 @@ class TestExamples:
         assert "vulnerable / broken" in result.stdout
 
 
-class TestCliLint:
-    def test_lint_reports_and_exit_code(self, tmp_path, capsys):
+class TestCliRoaLint:
+    def test_roa_lint_reports_and_exit_code(self, tmp_path, capsys):
         from repro.cli import main
         from repro.data import write_origin_pairs, write_vrp_csv
         from repro.netbase import Prefix
@@ -93,13 +93,13 @@ class TestCliLint:
         rib_path = tmp_path / "rib.txt"
         write_vrp_csv([Vrp(Prefix.parse("10.0.0.0/16"), 24, 1)], vrp_path)
         write_origin_pairs([(Prefix.parse("10.0.0.0/16"), 1)], rib_path)
-        code = main(["lint", str(vrp_path), str(rib_path)])
+        code = main(["roa-lint", str(vrp_path), str(rib_path)])
         captured = capsys.readouterr()
         assert code == 1  # vulnerabilities found
         assert "forged-origin" in captured.out
         assert "1 with vulnerabilities" in captured.err
 
-    def test_lint_clean_exits_zero(self, tmp_path, capsys):
+    def test_roa_lint_clean_exits_zero(self, tmp_path, capsys):
         from repro.cli import main
         from repro.data import write_origin_pairs, write_vrp_csv
         from repro.netbase import Prefix
@@ -109,4 +109,4 @@ class TestCliLint:
         rib_path = tmp_path / "rib.txt"
         write_vrp_csv([Vrp(Prefix.parse("10.0.0.0/16"), 16, 1)], vrp_path)
         write_origin_pairs([(Prefix.parse("10.0.0.0/16"), 1)], rib_path)
-        assert main(["lint", str(vrp_path), str(rib_path)]) == 0
+        assert main(["roa-lint", str(vrp_path), str(rib_path)]) == 0
