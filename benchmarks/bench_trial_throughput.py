@@ -145,10 +145,11 @@ def run_baseline(topology, spec, executor, workers):
     return aggregate_records(spec, records, bootstrap_resamples=200)
 
 
-def run_current(topology, spec, executor, workers):
+def run_current(topology, spec, executor, workers, shards=None):
     runner = ExperimentRunner(
         topology, spec, executor=executor,
         workers=workers if executor == "process" else None,
+        shards=shards if executor == "sharded" else None,
     )
     return runner.run(bootstrap_resamples=200)
 
@@ -253,6 +254,10 @@ def main(argv=None) -> int:
     parser.add_argument("--big-trials", type=int, default=3)
     parser.add_argument("--skip-75k", action="store_true",
                         help="skip the CAIDA-scale run (CI time budget)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="also time the sharded executor with this "
+                             "many shards (0 = skip; its results must "
+                             "match the serial run byte for byte)")
     parser.add_argument("--sink-repeats", type=int, default=3,
                         help="timing repetitions per sink-overhead arm; "
                              "best run counts")
@@ -289,6 +294,23 @@ def main(argv=None) -> int:
                     "trials_per_second": round(total / elapsed, 2),
                 }
                 results[f"{engine}_{executor}"] = result
+
+    sharded_identical = None
+    if args.shards > 0:
+        with phase("run"):
+            elapsed, result = timed(
+                f"current/sharded x{args.shards} ({total} trials x "
+                f"{len(spec.cells)} cells)",
+                run_current, topology, spec, "sharded", workers,
+                args.shards,
+            )
+        runs["current_sharded"] = {
+            "wall_seconds": round(elapsed, 4),
+            "trials": total,
+            "shards": args.shards,
+            "trials_per_second": round(total / elapsed, 2),
+        }
+        sharded_identical = result == results["current_serial"]
 
     print(
         f"  sink overhead (serial, best of {args.sink_repeats})...",
@@ -382,6 +404,8 @@ def main(argv=None) -> int:
                 telemetry_overhead["on_trials_per_second"]
                 >= 0.98 * telemetry_overhead["off_trials_per_second"]
             ),
+            # null = skipped (no --shards)
+            "sharded_results_identical": sharded_identical,
             # null = skipped via --skip-75k
             "caida_scale_run": (
                 None if big_run is None else big_run["succeeded"]

@@ -23,6 +23,9 @@ Subcommands mirror the paper's workflow:
   interrupted recording to a byte-identical result).
 * ``results``   — inspect durable run records: ``show`` re-aggregates
   a run file, ``merge`` unions shard-partial runs of one spec.
+* ``shard-worker`` — execute one shard of a grid into its own run
+  file, or (``--listen``) serve shards over HTTP to a
+  ``--shard-hosts`` coordinator (see :mod:`repro.exper.sharded`).
 
 Examples::
 
@@ -34,6 +37,10 @@ Examples::
         --policies minimal,maxlength-loose --fractions 0,0.5,1 \\
         --trials 50 --executor process
     repro-roa experiment --trials 50 --sink run.jsonl --resume
+    repro-roa experiment --trials 50 --executor sharded --shards 4 \\
+        --shard-store /tmp/shards --sink run.jsonl
+    repro-roa shard-worker --spec spec.json --shard 0 --shards 4 \\
+        --out shard0.jsonl
     repro-roa results show run.jsonl
     repro-roa results merge merged.jsonl shard0.jsonl shard1.jsonl
 """
@@ -199,8 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--ases", type=int, default=400,
                             help="synthetic topology size")
     experiment.add_argument("--topology-seed", type=int, default=11)
-    experiment.add_argument("--executor", choices=("serial", "process"),
-                            default="serial")
+    experiment.add_argument(
+        "--executor",
+        choices=("serial", "process", "sharded", "auto"),
+        help="execution strategy: serial, process (multiprocessing "
+             "pool), sharded (crash-retried shard workers; see "
+             "--shards/--shard-hosts), or auto (serial on one core, "
+             "process otherwise); default: the spec's executor "
+             "(serial unless the spec file says otherwise)",
+    )
     experiment.add_argument(
         "--engine", choices=("object", "array"),
         help="propagation backend: object (default) or array (the "
@@ -208,7 +222,35 @@ def build_parser() -> argparse.ArgumentParser:
              "overrides the spec file's engine when given",
     )
     experiment.add_argument("--workers", type=int,
-                            help="process-executor pool size")
+                            help="process-executor pool size (also the "
+                                 "sharded executor's in-flight window)")
+    experiment.add_argument(
+        "--shards", type=int, metavar="N",
+        help="sharded executor: split the grid into N shards "
+             "(default: the worker count)",
+    )
+    experiment.add_argument(
+        "--shard-store", metavar="DIR",
+        help="sharded executor: keep per-shard run files under DIR "
+             "(resumable and mergeable with repro-roa results merge; "
+             "default: a temporary directory, removed afterwards)",
+    )
+    experiment.add_argument(
+        "--shard-hosts", metavar="HOSTS",
+        help="sharded executor: dispatch shards to these comma-"
+             "separated repro-roa shard-worker hosts (host:port) "
+             "instead of local processes",
+    )
+    experiment.add_argument(
+        "--shard-retries", type=int, default=2, metavar="N",
+        help="sharded executor: retries per shard before the run "
+             "fails (default 2)",
+    )
+    experiment.add_argument(
+        "--shard-timeout", type=float, default=120.0, metavar="SECS",
+        help="sharded executor: reassign a shard after SECS without "
+             "progress (default 120)",
+    )
     experiment.add_argument(
         "--stopping", choices=("none", "ci"),
         help="adaptive early stopping: stop a fraction once every "
@@ -272,6 +314,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument("output", help="merged run file to write")
     merge.add_argument("inputs", nargs="+", help="input run files")
+
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="execute one shard of an experiment grid (or serve "
+             "shards over HTTP for --shard-hosts coordinators)",
+    )
+    shard_worker.add_argument(
+        "--spec", help="JSON ExperimentSpec file (one-shot mode)"
+    )
+    shard_worker.add_argument(
+        "--shard", type=int, metavar="K",
+        help="one-shot mode: run shard K of the --shards plan",
+    )
+    shard_worker.add_argument(
+        "--shards", type=int, metavar="N",
+        help="one-shot mode: total shard count of the plan",
+    )
+    shard_worker.add_argument(
+        "--out", metavar="PATH",
+        help="one-shot mode: stream the shard's records into this "
+             "JSONL run file (re-running resumes it)",
+    )
+    shard_worker.add_argument(
+        "--listen", action="store_true",
+        help="serve shards over HTTP instead (POST /shards dispatch, "
+             "GET /shards/<i> heartbeat, GET /shards/<i>/records)",
+    )
+    shard_worker.add_argument("--host", default="127.0.0.1")
+    shard_worker.add_argument("--port", type=int, default=0)
+    shard_worker.add_argument("--topology",
+                              help="CAIDA relationship file (else "
+                                   "synthetic)")
+    shard_worker.add_argument("--ases", type=int, default=400,
+                              help="synthetic topology size")
+    shard_worker.add_argument("--topology-seed", type=int, default=11)
     return parser
 
 
@@ -532,8 +609,8 @@ def _experiment_spec_from_args(args: argparse.Namespace):
         overrides = {}
         if args.engine and args.engine != spec.engine:
             overrides["engine"] = args.engine
-        for name in ("stopping", "stop_ci_width", "stop_min_trials",
-                     "stop_check_every"):
+        for name in ("executor", "stopping", "stop_ci_width",
+                     "stop_min_trials", "stop_check_every"):
             value = getattr(args, name)
             if value is not None and value != getattr(spec, name):
                 overrides[name] = value
@@ -580,6 +657,7 @@ def _experiment_spec_from_args(args: argparse.Namespace):
             Prefix.parse(args.attack_prefix) if args.attack_prefix else None
         ),
         engine=args.engine or "object",
+        executor=args.executor or "serial",
         **stop_kwargs,
     )
 
@@ -611,12 +689,6 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         topology = generate_topology(
             TopologyProfile(ases=args.ases), random.Random(args.topology_seed)
         )
-    print(
-        f"topology: {len(topology)} ASes, {topology.edge_count()} links; "
-        f"{spec.total_trials} trials x {len(spec.cells)} cells "
-        f"({args.executor} executor)",
-        file=sys.stderr,
-    )
     sink = None
     if args.sink:
         from .results import JsonlSink
@@ -636,11 +708,33 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from .obs import enable_tracing
 
         enable_tracing()
-    runner = ExperimentRunner(
-        topology, spec, executor=args.executor, workers=args.workers,
-        sink=sink, resume_from=sink if args.resume else None,
-    )
+    shard_transport = None
+    if args.shard_hosts:
+        from .serve import HttpShardTransport
+
+        try:
+            shard_transport = HttpShardTransport(
+                [h for h in args.shard_hosts.split(",") if h.strip()]
+            )
+        except ReproError as exc:
+            print(f"bad --shard-hosts: {exc}", file=sys.stderr)
+            return 2
     try:
+        runner = ExperimentRunner(
+            topology, spec, executor=args.executor, workers=args.workers,
+            sink=sink, resume_from=sink if args.resume else None,
+            shards=args.shards, shard_store=args.shard_store,
+            shard_transport=shard_transport,
+            shard_retries=args.shard_retries,
+            shard_timeout=args.shard_timeout,
+        )
+        print(
+            f"topology: {len(topology)} ASes, "
+            f"{topology.edge_count()} links; "
+            f"{spec.total_trials} trials x {len(spec.cells)} cells "
+            f"({runner.executor} executor)",
+            file=sys.stderr,
+        )
         result = runner.run(
             on_record=reporter.record if reporter is not None else None
         )
@@ -730,6 +824,91 @@ def _cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_worker_topology(args: argparse.Namespace):
+    if args.topology:
+        from .data import read_caida
+
+        return read_caida(args.topology)
+    from .data import TopologyProfile, generate_topology
+
+    return generate_topology(
+        TopologyProfile(ases=args.ases), random.Random(args.topology_seed)
+    )
+
+
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    from .netbase.errors import ReproError
+
+    if args.listen:
+        import time as time_module
+
+        from .serve import ThreadedShardWorkerServer
+
+        topology = _shard_worker_topology(args)
+        try:
+            server = ThreadedShardWorkerServer(
+                topology, host=args.host, port=args.port
+            ).start()
+        except OSError as exc:
+            print(f"shard-worker failed to bind: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"shard worker: {len(topology)} ASes "
+            f"(topology {server.topology_hash}) on "
+            f"http://{server.host}:{server.port}",
+            file=sys.stderr,
+        )
+        try:
+            while True:
+                time_module.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return 0
+
+    if not (args.spec and args.out is not None
+            and args.shard is not None and args.shards is not None):
+        print(
+            "shard-worker needs --listen, or all of "
+            "--spec/--shard/--shards/--out",
+            file=sys.stderr,
+        )
+        return 2
+    from .exper import ExperimentSpec, plan_shards, run_shard
+    from .results import JsonlSink
+
+    try:
+        spec = ExperimentSpec.from_json(
+            Path(args.spec).read_text(encoding="utf-8")
+        )
+        topology = _shard_worker_topology(args)
+        plan = plan_shards(spec, args.shards)
+        if not 0 <= args.shard < len(plan):
+            raise ReproError(
+                f"--shard {args.shard} outside the "
+                f"{len(plan)}-shard plan"
+            )
+        shard = plan[args.shard]
+        sink = JsonlSink(args.out)
+        try:
+            written = run_shard(
+                topology, spec, shard, sink=sink, resume=True
+            )
+        finally:
+            sink.close()
+    except (ReproError, OSError) as exc:
+        print(f"shard-worker failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"shard {shard.shard_index}/{shard.shard_count}: "
+        f"{written} records ({shard.trial_count} trials x "
+        f"{len(spec.cells)} cells) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "minimal": _cmd_minimal,
@@ -743,6 +922,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "experiment": _cmd_experiment,
     "results": _cmd_results,
+    "shard-worker": _cmd_shard_worker,
 }
 
 

@@ -33,6 +33,10 @@ The layers, bottom to top:
   path-prepended generalizations.
 * :mod:`repro.exper.runner` — serial and multiprocessing executors,
   plus durable-record sinks and resumption (see :mod:`repro.results`).
+* :mod:`repro.exper.sharded` — the sharded executor: grid
+  partitioning, crash-retried shard workers streaming durable
+  partials, and the coordinator that unions them byte-identically to
+  a serial run.
 * :mod:`repro.exper.aggregate` — means, stdevs, and bootstrap
   confidence intervals per grid cell, streamed through
   :mod:`repro.results.accumulate`.
@@ -50,7 +54,7 @@ from .evaluate import (
     evaluate_trial,
     evaluate_trials,
 )
-from .runner import EXECUTORS, ExperimentRunner
+from .runner import EXECUTORS, ExperimentRunner, resolve_executor
 from .scenarios import (
     AnyAsPairSampler,
     AttackConfig,
@@ -65,6 +69,13 @@ from .scenarios import (
     StubPairSampler,
     VictimAttackerSampler,
     policy_from_name,
+)
+from .sharded import (
+    LocalShardTransport,
+    Shard,
+    ShardCoordinator,
+    plan_shards,
+    run_shard,
 )
 from .spec import (
     ExperimentSpec,
@@ -84,6 +95,7 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentSpec",
     "FixedPairSampler",
+    "LocalShardTransport",
     "MaxLengthLooseRoa",
     "MinimalRoa",
     "NoRoa",
@@ -91,6 +103,8 @@ __all__ = [
     "RECORD_SCHEMA",
     "RoaPolicy",
     "ScenarioCell",
+    "Shard",
+    "ShardCoordinator",
     "StubPairSampler",
     "TrialRecord",
     "TrialSpec",
@@ -101,6 +115,9 @@ __all__ = [
     "evaluate_trials",
     "iter_trials",
     "materialize_trials",
+    "plan_shards",
     "policy_from_name",
     "prefix_ci_width",
+    "resolve_executor",
+    "run_shard",
 ]

@@ -13,8 +13,17 @@ randomness) and an executor evaluates them (expensive, pure):
   object topology.  Trials stream lazily into bounded batches (driver
   memory stays flat on million-trial grids) and results stream back as
   batches complete.
+* ``"sharded"`` — the grid is partitioned into contiguous shards,
+  each evaluated by an independent worker streaming into its own
+  durable run file, retried on death, and unioned back in grid order
+  (see :mod:`repro.exper.sharded`).  This is the multi-host path: the
+  default transport runs workers as local processes, and the serve
+  tier's HTTP transport dispatches them to remote hosts.
+* ``"auto"`` — :func:`resolve_executor` picks ``"serial"`` or
+  ``"process"`` from the parallelism actually available, so one-core
+  machines never pay process-pool overhead for nothing.
 
-Because trials are pure functions of (topology, spec, trial), the two
+Because trials are pure functions of (topology, spec, trial), all
 executors produce identical record sets and therefore byte-identical
 aggregated results — a property the test suite enforces.
 
@@ -51,11 +60,42 @@ from ..results.sinks import (
 )
 from .aggregate import ExperimentResult, aggregate_records, prefix_ci_width
 from .evaluate import TrialRecord, evaluate_trials
-from .spec import ExperimentSpec, TrialSpec, iter_trials
+from .sharded import ShardCoordinator
+from .spec import EXECUTORS, ExperimentSpec, TrialSpec, iter_trials
 
-__all__ = ["ExperimentRunner", "EXECUTORS"]
+__all__ = ["ExperimentRunner", "EXECUTORS", "resolve_executor"]
 
-EXECUTORS = ("serial", "process")
+
+def resolve_executor(
+    executor: str,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    cpu_count: Optional[int] = None,
+) -> str:
+    """Resolve ``"auto"`` to a concrete executor; pass others through.
+
+    ``"auto"`` picks ``"process"`` only when it can actually win:
+    on a one-core machine (``cpu_count() == 1``), or when the caller
+    pins ``workers`` or ``shards`` to one, pool overhead is pure loss
+    (the ROADMAP records the 1-core process executor at 0.87× serial),
+    so ``"serial"`` is chosen instead.  ``cpu_count`` overrides the
+    detected core count (tests pin the selection logic with it).
+    """
+    if executor not in EXECUTORS:
+        raise ReproError(
+            f"unknown executor {executor!r}; expected {EXECUTORS}"
+        )
+    if executor != "auto":
+        return executor
+    cores = cpu_count if cpu_count is not None else os.cpu_count() or 1
+    if cores <= 1:
+        return "serial"
+    if shards is not None and shards <= 1:
+        return "serial"
+    if workers is not None and workers <= 1:
+        return "serial"
+    return "process"
 
 #: Cap on the self-chosen trials-per-task batch: large enough to
 #: amortize IPC, small enough that the bounded in-flight window holds
@@ -288,10 +328,26 @@ class ExperimentRunner:
     Args:
         topology: the AS graph every trial propagates on.
         spec: the experiment grid.
-        executor: ``"serial"`` or ``"process"``.
+        executor: ``"serial"``, ``"process"``, ``"sharded"``, or
+            ``"auto"`` (resolved via :func:`resolve_executor`);
+            ``None`` (the default) defers to ``spec.executor``.
         workers: pool size for ``"process"`` (default: CPU count).
         batch_size: trials per pool task (default: balance ~4 tasks
             per worker so stragglers do not serialize the tail).
+        shards: shard count for ``"sharded"`` (default: ``workers``).
+        shard_store: directory (or
+            :class:`~repro.results.store.ResultsStore`) holding the
+            per-shard run files; default: a temporary directory
+            removed when the run ends.  A persistent store is what
+            makes shard files resumable across coordinator crashes —
+            and mergeable with ``repro-roa results merge``.
+        shard_transport: the dispatch transport (default: a
+            :class:`~repro.exper.sharded.LocalShardTransport`; pass
+            the serve tier's ``HttpShardTransport`` for remote hosts).
+        shard_retries: relaunch a dead shard this many times before
+            the run fails (each retry resumes the shard's own file).
+        shard_timeout: seconds without observable shard progress
+            before the coordinator kills and reassigns it.
         sink: a :class:`~repro.results.sinks.ResultSink` that receives
             the run header and every released record as it streams —
             e.g. a :class:`~repro.results.sinks.JsonlSink` for a
@@ -325,26 +381,37 @@ class ExperimentRunner:
         topology: AsTopology,
         spec: ExperimentSpec,
         *,
-        executor: str = "serial",
+        executor: Optional[str] = None,
         workers: Optional[int] = None,
         batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
+        shard_store=None,
+        shard_transport=None,
+        shard_retries: int = 2,
+        shard_timeout: float = 120.0,
         sink: Optional[ResultSink] = None,
         resume_from: Optional[ResultSink] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        if executor not in EXECUTORS:
-            raise ReproError(
-                f"unknown executor {executor!r}; expected {EXECUTORS}"
-            )
+        requested = spec.executor if executor is None else executor
         if workers is not None and workers < 1:
             raise ReproError("workers must be positive")
         if batch_size is not None and batch_size < 1:
             raise ReproError("batch_size must be positive")
+        if shards is not None and shards < 1:
+            raise ReproError("shards must be positive")
         self.topology = topology
         self.spec = spec
-        self.executor = executor
+        self.executor = resolve_executor(
+            requested, workers=workers, shards=shards
+        )
         self.workers = workers or os.cpu_count() or 1
         self.batch_size = batch_size
+        self.shards = shards or self.workers
+        self.shard_store = shard_store
+        self.shard_transport = shard_transport
+        self.shard_retries = shard_retries
+        self.shard_timeout = shard_timeout
         self.sink = sink
         self.resume_from = resume_from
         #: Metrics destination; ``None`` resolves the process-default
@@ -481,17 +548,23 @@ class ExperimentRunner:
                 fraction_index, trial_index
             )
 
-        trials = iter_trials(
-            self.spec,
-            self.topology,
-            wants=(
-                wants if (finished or tracker is not None) else None
-            ),
-        )
-        if self.executor == "serial":
-            raw = self._iter_serial(trials, tracker, metrics)
+        if self.executor == "sharded":
+            # Shard workers materialize their own trials; the
+            # coordinator streams their records back in grid order
+            # (``finished`` coordinates excluded — they replay above).
+            raw = self._iter_sharded(finished)
         else:
-            raw = self._iter_process(trials, tracker, metrics)
+            trials = iter_trials(
+                self.spec,
+                self.topology,
+                wants=(
+                    wants if (finished or tracker is not None) else None
+                ),
+            )
+            if self.executor == "serial":
+                raw = self._iter_serial(trials, tracker, metrics)
+            else:
+                raw = self._iter_process(trials, tracker, metrics)
 
         records_released = metrics.records_released
 
@@ -651,6 +724,36 @@ class ExperimentRunner:
             )
             yield from value
             submit()
+
+    def _iter_sharded(
+        self, finished: frozenset
+    ) -> Iterator[TrialRecord]:
+        """Raw record stream of the sharded executor.
+
+        The coordinator yields in grid order with ``finished``
+        coordinates excluded, so downstream (tracker, sink, emit)
+        treats this exactly like the serial stream.  Early stopping is
+        honoured at the coordinator: workers evaluate their whole
+        slice, and the tracker discards post-stop records on arrival —
+        identical counts and records to serial, at the cost of some
+        wasted shard work.
+        """
+        coordinator = ShardCoordinator(
+            self.topology,
+            self.spec,
+            shards=self.shards,
+            store=self.shard_store,
+            transport=self.shard_transport,
+            parallel=self.workers,
+            retries=self.shard_retries,
+            timeout=self.shard_timeout,
+            finished=finished,
+            registry=self.registry,
+        )
+        try:
+            yield from coordinator.records()
+        finally:
+            self.last_shared_segment = coordinator.last_shared_segment
 
     # ------------------------------------------------------------------
     # Shared-memory topology shipping

@@ -1,0 +1,792 @@
+"""Sharded execution: partition a grid, dispatch shards, union them.
+
+A sharded run splits an :class:`~repro.exper.spec.ExperimentSpec`'s
+(fraction, trial) grid into *contiguous* slices of its canonical
+fractions-outer, trials-inner order (:func:`plan_shards`), evaluates
+each slice as an independent worker (:func:`run_shard`) streaming into
+its own durable :class:`~repro.results.sinks.JsonlSink` run, and
+re-streams the shard records back to the driver **in shard order**
+(:class:`ShardCoordinator`).  Contiguity is the load-bearing choice:
+each shard evaluates its slice serially in grid order, and shard files
+sort by grid coordinate, so concatenating completed shards in shard
+order reproduces exactly the serial executor's record stream — the
+coordinator's sink file is byte-identical to a serial run's, and
+``merge_runs`` over the shard partials is too.
+
+Determinism under ``"derived"`` seeding is free (every trial's seed is
+self-contained).  Under ``"stream"`` seeding each worker replays the
+*whole* sequential RNG stream from the start and withholds trials
+outside its slice — wasteful in draws, but byte-identical by
+construction (:func:`~repro.exper.spec.iter_trials` already implements
+the withhold discipline for early stopping).
+
+Failure semantics: a shard that dies — killed, crashed, or silent past
+the progress timeout — is retried up to ``retries`` times, resuming
+its own partial shard file (complete trials are skipped; the partial
+tail is truncated), so a retried shard converges on the same bytes an
+undisturbed one writes.  The coordinator babysits workers through a
+deliberately narrow transport interface (start/poll/stop/collect);
+:class:`LocalShardTransport` runs them as local processes sharing the
+compiled topology blob through one shared-memory segment, and the
+serve tier's ``HttpShardTransport`` dispatches them to remote worker
+hosts over HTTP (the layering DAG forbids importing it from here; the
+CLI wires it in).
+
+Fault injection for the test suite and CI rides the
+``REPRO_SHARD_FAULT`` environment variable —
+``"<shard>:<kill|raise>:<after-records>"`` — honoured only on a
+shard's first attempt, so a faulted run exercises death *and*
+recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+from ..bgp.fastprop import PropagationWorkspace
+from ..bgp.topology import AsTopology, CompiledTopology
+from ..netbase.errors import ReproError
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..results.sinks import (
+    JsonlSink,
+    RunHeader,
+    check_header_compatible,
+    read_run,
+)
+from ..results.store import ResultsStore, shard_run_id
+from .evaluate import TrialRecord, evaluate_trials
+from .spec import ExperimentSpec, iter_trials
+
+__all__ = [
+    "FAULT_ENV",
+    "LocalShardTransport",
+    "Shard",
+    "ShardCoordinator",
+    "plan_shards",
+    "run_shard",
+]
+
+#: Environment variable carrying a one-shot fault injection directive:
+#: ``"<shard-index>:<kill|raise>:<after-records>"``.  Applied by shard
+#: workers on attempt 0 only, so retries recover.
+FAULT_ENV = "REPRO_SHARD_FAULT"
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of a spec's (fraction, trial) grid.
+
+    ``ranges`` is a tuple of ``(fraction_index, start, stop)``
+    half-open trial ranges; together the plan's shards tile the grid's
+    canonical fractions-outer, trials-inner order without gaps or
+    overlaps, and each shard's ranges are themselves contiguous in
+    that order — the property the coordinator's ordered union relies
+    on.
+    """
+
+    shard_index: int
+    shard_count: int
+    ranges: tuple[tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "ranges",
+            tuple(tuple(entry) for entry in self.ranges),
+        )
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ReproError(
+                f"shard index {self.shard_index} outside plan of "
+                f"{self.shard_count}"
+            )
+        for entry in self.ranges:
+            if len(entry) != 3:
+                raise ReproError(f"bad shard range {entry!r}")
+            fraction_index, start, stop = entry
+            if fraction_index < 0 or not 0 <= start < stop:
+                raise ReproError(f"bad shard range {entry!r}")
+
+    @property
+    def trial_count(self) -> int:
+        return sum(stop - start for _, start, stop in self.ranges)
+
+    def contains(self, fraction_index: int, trial_index: int) -> bool:
+        """Is this grid coordinate inside the shard's slice?"""
+        for f, start, stop in self.ranges:
+            if f == fraction_index and start <= trial_index < stop:
+                return True
+        return False
+
+    def run_id(self, base: str) -> str:
+        """This shard's canonical run id under ``base``."""
+        return shard_run_id(base, self.shard_index, self.shard_count)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "ranges": [list(entry) for entry in self.ranges],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "Shard":
+        try:
+            return cls(
+                shard_index=int(data["shard_index"]),
+                shard_count=int(data["shard_count"]),
+                ranges=tuple(
+                    (int(f), int(start), int(stop))
+                    for f, start, stop in data["ranges"]
+                ),
+            )
+        except KeyError as exc:
+            raise ReproError(f"shard JSON missing key {exc}") from None
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"bad shard JSON value: {exc}") from None
+
+
+def plan_shards(spec: ExperimentSpec, shards: int) -> tuple[Shard, ...]:
+    """Partition the spec's grid into near-even contiguous shards.
+
+    The grid's ``total_trials`` coordinates — fractions outer, trials
+    inner — are cut into at most ``shards`` contiguous slices whose
+    sizes differ by at most one (earlier shards take the remainder).
+    Plans never contain empty shards: a request for more shards than
+    trials yields one shard per trial.
+    """
+    if shards < 1:
+        raise ReproError("shards must be positive")
+    total = spec.total_trials
+    count = min(shards, total)
+    size, extra = divmod(total, count)
+    plan = []
+    cursor = 0
+    for shard_index in range(count):
+        take = size + (1 if shard_index < extra else 0)
+        lo, hi = cursor, cursor + take
+        cursor = hi
+        ranges = []
+        for fraction_index in range(len(spec.fractions)):
+            base = fraction_index * spec.trials
+            start = max(lo, base)
+            stop = min(hi, base + spec.trials)
+            if start < stop:
+                ranges.append((fraction_index, start - base, stop - base))
+        plan.append(
+            Shard(
+                shard_index=shard_index,
+                shard_count=count,
+                ranges=tuple(ranges),
+            )
+        )
+    return tuple(plan)
+
+
+def _parse_fault(
+    value: Optional[str], shard_index: int, attempt: int
+) -> Optional[tuple[str, int]]:
+    """Decode :data:`FAULT_ENV` for one worker; ``None`` when inert.
+
+    Faults fire on a shard's first attempt only — the whole point is
+    proving the retry converges.
+    """
+    if not value or attempt > 0:
+        return None
+    parts = value.split(":")
+    if len(parts) != 3:
+        raise ReproError(
+            f"bad {FAULT_ENV} {value!r}: expected "
+            f"'<shard>:<kill|raise>:<after-records>'"
+        )
+    try:
+        target, mode, after = int(parts[0]), parts[1], int(parts[2])
+    except ValueError:
+        raise ReproError(f"bad {FAULT_ENV} {value!r}") from None
+    if mode not in ("kill", "raise"):
+        raise ReproError(
+            f"bad {FAULT_ENV} mode {mode!r}: expected 'kill' or 'raise'"
+        )
+    if target != shard_index:
+        return None
+    return mode, after
+
+
+def _trigger_fault(mode: str, shard: Shard) -> None:
+    if mode == "kill":
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise ReproError(
+        f"injected fault: shard {shard.shard_index} raised mid-stream"
+    )
+
+
+def run_shard(
+    topology: AsTopology,
+    spec: ExperimentSpec,
+    shard: Shard,
+    *,
+    sink: Optional[JsonlSink] = None,
+    resume: bool = False,
+    finished: frozenset = frozenset(),
+    header: Optional[RunHeader] = None,
+    eval_topology=None,
+    workspace: Optional[PropagationWorkspace] = None,
+    on_record: Optional[Callable[[TrialRecord], None]] = None,
+    fault: Optional[tuple[str, int]] = None,
+) -> int:
+    """Evaluate one shard serially, in grid order; return records written.
+
+    ``topology`` materializes trials (it must be the object form —
+    samplers draw from it); ``eval_topology`` (default: ``topology``)
+    is what trials evaluate on, so array-engine workers pass their
+    attached :class:`~repro.bgp.topology.CompiledTopology` and reuse
+    ``workspace`` across trials.  ``finished`` grid coordinates —
+    trials the coordinator already holds records for — are skipped
+    (derived seeding) or drawn-and-withheld (stream seeding), exactly
+    like a resumed run.  With ``resume=True`` the sink's existing
+    complete trials are treated the same way, so a retried shard picks
+    up where its dead predecessor flushed.
+
+    ``fault`` is the decoded :data:`FAULT_ENV` directive; after the
+    given number of records the worker kills itself or raises.
+    """
+    if header is None:
+        header = RunHeader.for_spec(spec, topology)
+    done = set(finished)
+    if resume and sink is not None:
+        prior, records = sink.resume_scan(spec)
+        if prior is not None:
+            check_header_compatible(prior, header, "shard resume source")
+            by_trial: dict[tuple[int, int], int] = {}
+            for record in records:
+                key = (record.fraction_index, record.trial_index)
+                by_trial[key] = by_trial.get(key, 0) + 1
+            done.update(
+                key
+                for key, cells in by_trial.items()
+                if cells == len(spec.cells)
+            )
+    if sink is not None:
+        sink.begin(header)
+
+    def wants(fraction_index: int, trial_index: int) -> bool:
+        return (
+            shard.contains(fraction_index, trial_index)
+            and (fraction_index, trial_index) not in done
+        )
+
+    trials = iter_trials(spec, topology, wants=wants)
+    written = 0
+    countdown = fault[1] if fault is not None else None
+    for record in evaluate_trials(
+        eval_topology if eval_topology is not None else topology,
+        spec,
+        trials,
+        workspace=workspace,
+    ):
+        if sink is not None:
+            sink.write(record)
+        written += 1
+        if on_record is not None:
+            on_record(record)
+        if countdown is not None:
+            countdown -= 1
+            if countdown <= 0:
+                _trigger_fault(fault[0], shard)
+    if sink is not None:
+        sink.finish(())
+    return written
+
+
+# ----------------------------------------------------------------------
+# Local worker processes
+# ----------------------------------------------------------------------
+
+
+def _run_attached(
+    buf,
+    spec: ExperimentSpec,
+    shard: Shard,
+    sink: JsonlSink,
+    finished: frozenset,
+    attempt: int,
+    header: RunHeader,
+) -> None:
+    """Run one shard over an attached blob.
+
+    Everything derived from ``buf`` — the compiled topology, the
+    reconstructed object form, the workspace — stays local to this
+    frame, so by the time the caller closes its shared-memory handle
+    no exported buffer views remain.
+    """
+    compiled = CompiledTopology.from_blob(buf)
+    topology = compiled.to_topology()
+    eval_topology = compiled if spec.engine == "array" else topology
+    workspace = (
+        PropagationWorkspace(compiled) if spec.engine == "array" else None
+    )
+    fault = _parse_fault(
+        os.environ.get(FAULT_ENV), shard.shard_index, attempt
+    )
+    run_shard(
+        topology,
+        spec,
+        shard,
+        sink=sink,
+        resume=True,
+        finished=finished,
+        header=header,
+        eval_topology=eval_topology,
+        workspace=workspace,
+        fault=fault,
+    )
+
+
+def _local_shard_main(
+    payload: tuple,
+    spec: ExperimentSpec,
+    shard: Shard,
+    path: str,
+    finished: frozenset,
+    attempt: int,
+    header: RunHeader,
+) -> None:
+    """Entry point of one local shard worker process.
+
+    Attaches the compiled topology (shared memory or pickled blob)
+    and runs the shard with resume — the file it streams into doubles
+    as its own crash journal.  Failures leave their reason in
+    ``<path>.err`` for the coordinator and exit nonzero via
+    :func:`os._exit` (skipping interpreter teardown, which would
+    otherwise spray ``BufferError`` noise from shared-memory views
+    still referenced by the exception's traceback); progress
+    heartbeats are simply the sink's flushed writes (the coordinator
+    watches the file grow).
+    """
+    kind, value = payload
+    shm = None
+    if kind == "shm":
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=value, track=False)
+        except TypeError:  # Python < 3.13: no track parameter
+            shm = shared_memory.SharedMemory(name=value)
+    sink = JsonlSink(path)
+    try:
+        _run_attached(
+            shm.buf if shm is not None else value,
+            spec, shard, sink, finished, attempt, header,
+        )
+    except BaseException as exc:
+        Path(path + ".err").write_text(
+            f"{type(exc).__name__}: {exc}", encoding="utf-8"
+        )
+        sink.close()
+        os._exit(1)
+    sink.close()
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:
+            # A stray view survived; the mapping dies with the process.
+            os._exit(0)
+
+
+class _LocalJob:
+    """Book-keeping for one running local worker process."""
+
+    __slots__ = ("shard", "attempt", "process", "path", "size", "beat")
+
+    def __init__(self, shard, attempt, process, path) -> None:
+        self.shard = shard
+        self.attempt = attempt
+        self.process = process
+        self.path = path
+        self.size = -1
+        self.beat = time.monotonic()
+
+
+class LocalShardTransport:
+    """Shard workers as local processes, topology shared once.
+
+    Implements the coordinator's transport interface:
+
+    * ``start(shard, path, finished, attempt, header)`` — launch a
+      worker streaming into ``path``;
+    * ``poll()`` — ``{shard_index: ("done", None) | ("failed", reason)
+      | ("running", seconds_since_progress)}`` for every started
+      shard; progress is the shard file growing (every record is
+      flushed, so a live worker beats on every trial);
+    * ``stop(shard_index)`` — kill a worker (timeout reassignment);
+    * ``collect(shard, path)`` — records are already at ``path``
+      (workers write in place), so this just forgets the job;
+    * ``close()`` — kill stragglers and release the shared-memory
+      segment.
+
+    The compiled topology is published once, to one shared-memory
+    segment every worker attaches zero-copy (blob-pickle fallback when
+    shared memory is unavailable); ``last_shared_segment`` records the
+    segment name for leak checks, mirroring the process executor.
+    """
+
+    def __init__(
+        self,
+        topology: AsTopology,
+        spec: ExperimentSpec,
+        *,
+        mp_context=None,
+    ) -> None:
+        import multiprocessing
+
+        self.topology = topology
+        self.spec = spec
+        self.last_shared_segment: Optional[str] = None
+        self._payload: Optional[tuple] = None
+        self._shm = None
+        self._jobs: dict[int, _LocalJob] = {}
+        self._ctx = mp_context or multiprocessing.get_context()
+
+    def _ensure_payload(self) -> tuple:
+        if self._payload is not None:
+            return self._payload
+        blob = self.topology.compiled().to_blob()
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        except (ImportError, OSError):
+            self._payload = ("blob", blob)
+            return self._payload
+        try:
+            shm.buf[: len(blob)] = blob
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        self._shm = shm
+        self.last_shared_segment = shm.name
+        self._payload = ("shm", shm.name)
+        return self._payload
+
+    def start(
+        self,
+        shard: Shard,
+        path: Path,
+        finished: frozenset,
+        attempt: int,
+        header: RunHeader,
+    ) -> None:
+        payload = self._ensure_payload()
+        process = self._ctx.Process(
+            target=_local_shard_main,
+            args=(
+                payload, self.spec, shard, str(path), finished,
+                attempt, header,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._jobs[shard.shard_index] = _LocalJob(
+            shard, attempt, process, Path(path)
+        )
+
+    def poll(self) -> dict[int, tuple[str, object]]:
+        now = time.monotonic()
+        statuses: dict[int, tuple[str, object]] = {}
+        for index in sorted(self._jobs):
+            job = self._jobs[index]
+            exitcode = job.process.exitcode
+            if exitcode is None:
+                try:
+                    size = os.stat(job.path).st_size
+                except OSError:
+                    size = -1
+                if size != job.size:
+                    job.size = size
+                    job.beat = now
+                statuses[index] = ("running", now - job.beat)
+            elif exitcode == 0:
+                statuses[index] = ("done", None)
+            else:
+                statuses[index] = ("failed", self._failure_reason(job))
+        return statuses
+
+    def _failure_reason(self, job: _LocalJob) -> str:
+        error_path = Path(str(job.path) + ".err")
+        try:
+            detail = error_path.read_text(encoding="utf-8").strip()
+        except OSError:
+            detail = ""
+        code = job.process.exitcode
+        what = (
+            f"killed by signal {-code}" if code is not None and code < 0
+            else f"exited {code}"
+        )
+        return f"worker {what}" + (f": {detail}" if detail else "")
+
+    def stop(self, shard_index: int) -> None:
+        """Kill a running worker (no-op once it has exited)."""
+        job = self._jobs.get(shard_index)
+        if job is None:
+            return
+        if job.process.exitcode is None:
+            job.process.kill()
+        job.process.join()
+
+    def collect(self, shard: Shard, path: Path) -> None:
+        """Finalize a completed shard: its records are already local."""
+        job = self._jobs.pop(shard.shard_index, None)
+        if job is not None:
+            job.process.join()
+        error_path = Path(str(path) + ".err")
+        try:
+            error_path.unlink()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        for index in sorted(self._jobs):
+            self.stop(index)
+        self._jobs.clear()
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._shm = None
+        self._payload = None
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+
+
+class _ShardMetrics:
+    """The coordinator's ``exper.*`` shard-lifecycle instruments."""
+
+    __slots__ = (
+        "enabled", "shards_dispatched", "shards_completed",
+        "shards_failed", "shards_retried", "inflight_shards",
+        "shard_latency",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        view = registry.view("exper")
+        self.enabled = registry.enabled
+        self.shards_dispatched = view.counter("shards_dispatched")
+        self.shards_completed = view.counter("shards_completed")
+        self.shards_failed = view.counter("shards_failed")
+        self.shards_retried = view.counter("shards_retried")
+        self.inflight_shards = view.gauge("inflight_shards")
+        self.shard_latency = view.histogram("shard_latency")
+
+
+class ShardCoordinator:
+    """Dispatch a shard plan and re-stream its records in grid order.
+
+    The coordinator owns policy — launch order, the in-flight window,
+    the progress timeout, retry/reassignment — and drives any object
+    implementing the transport interface
+    (:class:`LocalShardTransport` by default; the serve tier's
+    ``HttpShardTransport`` for remote hosts).  Records are yielded
+    strictly in shard order (shard *k+1* waits for *k* even if it
+    finished first), each shard's sorted by grid coordinate, which by
+    plan contiguity is exactly the serial executor's order.
+
+    Shard runs live in ``store`` (a :class:`~repro.results.store
+    .ResultsStore` root) under :func:`~repro.results.store
+    .shard_run_id` names; with no store a temporary directory is used
+    and removed when the stream completes — a crashed *coordinator*
+    with a persistent store leaves resumable shard files behind, which
+    is the multi-host resume story.
+
+    ``finished`` coordinates (from the runner's resume scan) are
+    neither re-evaluated by workers nor re-yielded from pre-existing
+    shard files — the runner replays them from its own sink.
+    """
+
+    def __init__(
+        self,
+        topology: AsTopology,
+        spec: ExperimentSpec,
+        *,
+        shards: int,
+        store: Optional[Union[str, Path, ResultsStore]] = None,
+        run_base: Optional[str] = None,
+        transport=None,
+        parallel: Optional[int] = None,
+        retries: int = 2,
+        timeout: float = 120.0,
+        poll_interval: float = 0.02,
+        finished: frozenset = frozenset(),
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if retries < 0:
+            raise ReproError("retries must be non-negative")
+        if timeout <= 0:
+            raise ReproError("timeout must be positive")
+        self.topology = topology
+        self.spec = spec
+        self.plan = plan_shards(spec, shards)
+        if isinstance(store, (str, Path)):
+            store = ResultsStore(store)
+        self.store = store
+        self.run_base = run_base or f"grid-{spec.spec_hash()[:12]}"
+        self.transport = transport
+        self.parallel = parallel or min(
+            len(self.plan), os.cpu_count() or 1
+        )
+        self.retries = retries
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.finished = finished
+        self.registry = registry
+        self.last_shared_segment: Optional[str] = None
+
+    def records(self) -> Iterator[TrialRecord]:
+        """Run the plan; yield every record in serial grid order."""
+        metrics = _ShardMetrics(
+            self.registry if self.registry is not None
+            else get_registry()
+        )
+        tempdir = None
+        store = self.store
+        if store is None:
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            store = ResultsStore(tempdir.name)
+        transport = self.transport
+        owns_transport = transport is None
+        if owns_transport:
+            transport = LocalShardTransport(self.topology, self.spec)
+        try:
+            yield from self._pump(transport, store, metrics)
+        finally:
+            if owns_transport:
+                transport.close()
+            self.last_shared_segment = getattr(
+                transport, "last_shared_segment", None
+            )
+            if tempdir is not None:
+                tempdir.cleanup()
+
+    def _pump(
+        self,
+        transport,
+        store: ResultsStore,
+        metrics: _ShardMetrics,
+    ) -> Iterator[TrialRecord]:
+        plan = self.plan
+        header = RunHeader.for_spec(self.spec, self.topology)
+        store.root.mkdir(parents=True, exist_ok=True)
+        paths = {
+            shard.shard_index: store.path(shard.run_id(self.run_base))
+            for shard in plan
+        }
+        attempts = {shard.shard_index: 0 for shard in plan}
+        started = {}
+        pending: deque[int] = deque(range(len(plan)))
+        inflight: set[int] = set()
+        completed: set[int] = set()
+        tracer = trace.get_tracer()
+        next_to_yield = 0
+
+        def fail(index: int, reason: str) -> None:
+            metrics.shards_failed.inc()
+            attempts[index] += 1
+            if attempts[index] > self.retries:
+                raise ReproError(
+                    f"shard {index} failed after {attempts[index]} "
+                    f"attempts: {reason}"
+                )
+            metrics.shards_retried.inc()
+            tracer.instant(
+                "exper.shard_retried", shard=index, reason=reason
+            )
+            pending.appendleft(index)
+
+        while next_to_yield < len(plan):
+            progressed = False
+            while pending and len(inflight) < self.parallel:
+                index = pending.popleft()
+                transport.start(
+                    plan[index], paths[index], self.finished,
+                    attempts[index], header,
+                )
+                started[index] = time.perf_counter()
+                inflight.add(index)
+                metrics.shards_dispatched.inc()
+                metrics.inflight_shards.set(len(inflight))
+                tracer.instant(
+                    "exper.shard_dispatched",
+                    shard=index,
+                    attempt=attempts[index],
+                    trials=plan[index].trial_count,
+                )
+                progressed = True
+            statuses = transport.poll()
+            for index in sorted(inflight):
+                status, detail = statuses.get(index, ("running", 0.0))
+                if status == "running":
+                    if (
+                        isinstance(detail, (int, float))
+                        and detail > self.timeout
+                    ):
+                        transport.stop(index)
+                        inflight.discard(index)
+                        metrics.inflight_shards.set(len(inflight))
+                        fail(
+                            index,
+                            f"no progress for {detail:.1f}s "
+                            f"(timeout {self.timeout:.1f}s)",
+                        )
+                        progressed = True
+                    continue
+                inflight.discard(index)
+                metrics.inflight_shards.set(len(inflight))
+                progressed = True
+                if status == "done":
+                    transport.collect(plan[index], paths[index])
+                    completed.add(index)
+                    metrics.shards_completed.inc()
+                    metrics.shard_latency.observe(
+                        time.perf_counter() - started[index]
+                    )
+                    tracer.instant(
+                        "exper.shard_completed", shard=index,
+                    )
+                else:
+                    transport.stop(index)  # reap before relaunch
+                    fail(index, str(detail))
+            while next_to_yield in completed:
+                shard = plan[next_to_yield]
+                run_header, records = read_run(paths[next_to_yield])
+                check_header_compatible(
+                    run_header, header,
+                    f"shard {next_to_yield} run {paths[next_to_yield]}",
+                )
+                for record in records:
+                    key = (record.fraction_index, record.trial_index)
+                    if key in self.finished:
+                        continue
+                    if not shard.contains(*key):
+                        raise ReproError(
+                            f"shard {next_to_yield} run holds a record "
+                            f"for grid coordinate {key} outside its "
+                            f"slice"
+                        )
+                    yield record
+                next_to_yield += 1
+                progressed = True
+            if not progressed and inflight:
+                time.sleep(self.poll_interval)

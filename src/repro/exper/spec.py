@@ -50,6 +50,7 @@ from .scenarios import (
 )
 
 __all__ = [
+    "EXECUTORS",
     "ExperimentSpec",
     "TrialSpec",
     "derive_trial_seed",
@@ -59,6 +60,11 @@ __all__ = [
 
 _SEEDINGS = ("derived", "stream")
 _STOPPINGS = ("none", "ci")
+
+#: Every executor a spec (or runner) may name.  ``"auto"`` resolves at
+#: run time to ``"serial"`` or ``"process"`` depending on available
+#: parallelism (see :func:`repro.exper.runner.resolve_executor`).
+EXECUTORS = ("serial", "process", "sharded", "auto")
 
 
 def derive_trial_seed(seed: int, fraction_index: int, trial_index: int) -> int:
@@ -119,6 +125,14 @@ class ExperimentSpec:
             bucketed BFS) or ``"array"`` (the flat-array engine that
             makes CAIDA-scale grids practical).  The two are
             bit-identical, so this is purely a speed knob.
+        executor: the default execution strategy — ``"serial"``,
+            ``"process"``, ``"sharded"``, or ``"auto"`` (pick serial
+            or process from available parallelism).  All executors
+            produce byte-identical results, so — like ``engine`` —
+            this is purely a speed/topology knob: it round-trips
+            through JSON but is *excluded* from :meth:`spec_hash`, so
+            runs of the same grid under different executors share a
+            run identity and merge cleanly.
         stopping: adaptive early stopping — ``"none"`` (run exactly
             ``trials`` everywhere; byte-identical to the pre-stopping
             engine) or ``"ci"`` (a fraction stops early once *every*
@@ -146,6 +160,7 @@ class ExperimentSpec:
     attack_prefix: Optional[Prefix] = None
     seeding: str = "derived"
     engine: str = "object"
+    executor: str = "serial"
     stopping: str = "none"
     stop_ci_width: float = 0.05
     stop_min_trials: int = 16
@@ -168,6 +183,11 @@ class ExperimentSpec:
                 f"unknown seeding {self.seeding!r}; expected {_SEEDINGS}"
             )
         coerce_engine(self.engine)
+        if self.executor not in EXECUTORS:
+            raise ReproError(
+                f"unknown executor {self.executor!r}; "
+                f"expected {EXECUTORS}"
+            )
         if self.stopping not in _STOPPINGS:
             raise ReproError(
                 f"unknown stopping {self.stopping!r}; expected {_STOPPINGS}"
@@ -261,6 +281,7 @@ class ExperimentSpec:
             ),
             "seeding": self.seeding,
             "engine": self.engine,
+            "executor": self.executor,
             "stopping": self.stopping,
             "stop_ci_width": self.stop_ci_width,
             "stop_min_trials": self.stop_min_trials,
@@ -274,12 +295,18 @@ class ExperimentSpec:
         """A stable digest of the whole spec (canonical JSON form).
 
         Two specs share a hash exactly when their JSON round-trip
-        forms are identical; durable run records carry it so a sink
-        can refuse to mix records from different experiments (and
-        resume can refuse a mismatched spec).
+        forms are identical — except for ``executor``, which is an
+        execution strategy rather than part of the experiment's
+        identity: serial, process, and sharded runs of the same grid
+        must share a hash so their records merge and resume across
+        executors.  Durable run records carry the hash so a sink can
+        refuse to mix records from different experiments (and resume
+        can refuse a mismatched spec).
         """
+        identity = self.to_json_dict()
+        identity.pop("executor", None)
         canonical = json.dumps(
-            self.to_json_dict(), sort_keys=True, separators=(",", ":")
+            identity, sort_keys=True, separators=(",", ":")
         )
         return hashlib.blake2b(
             canonical.encode("utf-8"), digest_size=16
@@ -309,6 +336,7 @@ class ExperimentSpec:
                 ),
                 seeding=data.get("seeding", "derived"),
                 engine=data.get("engine", "object"),
+                executor=data.get("executor", "serial"),
                 stopping=data.get("stopping", "none"),
                 stop_ci_width=float(data.get("stop_ci_width", 0.05)),
                 stop_min_trials=int(data.get("stop_min_trials", 16)),

@@ -54,7 +54,7 @@ from .sinks import (
     read_run,
     topology_digest,
 )
-from .store import ResultsStore, merge_runs, run_result
+from .store import ResultsStore, merge_runs, run_result, shard_run_id
 
 __all__ = [
     "CellAccumulator",
@@ -72,5 +72,6 @@ __all__ = [
     "merge_runs",
     "read_run",
     "run_result",
+    "shard_run_id",
     "topology_digest",
 ]

@@ -113,11 +113,16 @@ class RunHeader:
     def for_spec(
         cls, spec: "ExperimentSpec", topology=None
     ) -> "RunHeader":
+        # The executor is *how* the run executed, not *what* it
+        # computed: spec_hash already excludes it, and dropping it
+        # here keeps run files byte-identical across executors.
+        spec_dict = spec.to_json_dict()
+        spec_dict.pop("executor", None)
         return cls(
             spec_hash=spec.spec_hash(),
             seed=spec.seed,
             engine=spec.engine,
-            spec=spec.to_json_dict(),
+            spec=spec_dict,
             topology_hash=(
                 None if topology is None else topology_digest(topology)
             ),

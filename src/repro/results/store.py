@@ -45,9 +45,38 @@ if TYPE_CHECKING:  # pragma: no cover — typing only (import-cycle care)
     from ..exper.aggregate import ExperimentResult
     from ..exper.evaluate import TrialRecord
 
-__all__ = ["ResultsStore", "merge_runs", "run_result"]
+__all__ = [
+    "ResultsStore",
+    "merge_runs",
+    "run_result",
+    "shard_run_id",
+]
 
 _RUN_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def shard_run_id(base: str, shard_index: int, shard_count: int) -> str:
+    """The canonical run id of one shard of a sharded run.
+
+    ``base`` names the whole run; the suffix pins both the shard's
+    position and the plan width, so partials from differently-sharded
+    runs of the same grid can never be confused for one another.  The
+    result is always a valid :class:`ResultsStore` run id.
+    """
+    if shard_count < 1:
+        raise ReproError("shard_count must be positive")
+    if not 0 <= shard_index < shard_count:
+        raise ReproError(
+            f"shard index {shard_index} outside plan of {shard_count}"
+        )
+    width = len(str(shard_count - 1))
+    run_id = f"{base}.shard{shard_index:0{width}d}of{shard_count}"
+    if not _RUN_ID.match(run_id):
+        raise ReproError(
+            f"bad shard run id {run_id!r}: base {base!r} must use "
+            f"letters, digits, '.', '_', '-'"
+        )
+    return run_id
 
 
 class ResultsStore:
@@ -91,6 +120,13 @@ class ResultsStore:
         return merge_runs(
             self.path(out_id), [self.path(run_id) for run_id in run_ids]
         )
+
+    def shard_ids(self, base: str, shard_count: int) -> List[str]:
+        """Every shard run id of a ``shard_count``-wide plan, in order."""
+        return [
+            shard_run_id(base, shard_index, shard_count)
+            for shard_index in range(shard_count)
+        ]
 
 
 def merge_runs(

@@ -47,6 +47,13 @@ the cache are served by two cooperating components over one VRP set:
   ``notfound`` — in-process, in batch, or over ``GET /validity``.
 * **Metrics** (:mod:`repro.serve.metrics`).  Shared counters and a
   latency histogram; ``GET /metrics`` exposes them as JSON.
+* **Experiment shard workers** (:mod:`repro.serve.shards`).  The
+  multi-host half of the sharded experiment executor: a
+  :class:`~repro.serve.shards.ShardWorkerServer` holds a topology and
+  executes dispatched grid shards over HTTP, and
+  :class:`~repro.serve.shards.HttpShardTransport` is the
+  coordinator-side client that makes a pool of such hosts look like
+  local worker processes (see :mod:`repro.exper.sharded`).
 
 Quick start (see ``examples/serve_quickstart.py`` for the full tour)::
 
@@ -66,16 +73,24 @@ from .http import HttpRequestError, QueryHttpServer
 from .metrics import LatencyHistogram, ServeMetrics
 from .query import QueryService, ValidityResult
 from .rtr_async import AsyncRtrClient, AsyncRtrServer, ThreadedRtrServer
+from .shards import (
+    HttpShardTransport,
+    ShardWorkerServer,
+    ThreadedShardWorkerServer,
+)
 
 __all__ = [
     "AsyncRtrClient",
     "AsyncRtrServer",
     "FrameCache",
     "HttpRequestError",
+    "HttpShardTransport",
     "LatencyHistogram",
     "QueryHttpServer",
     "QueryService",
     "ServeMetrics",
+    "ShardWorkerServer",
     "ThreadedRtrServer",
+    "ThreadedShardWorkerServer",
     "ValidityResult",
 ]

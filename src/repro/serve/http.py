@@ -37,7 +37,13 @@ from .query import QueryService
 if TYPE_CHECKING:  # pragma: no cover
     from ..results.live import RunRegistry
 
-__all__ = ["QueryHttpServer", "HttpRequestError"]
+__all__ = [
+    "HttpRequestError",
+    "QueryHttpServer",
+    "TextPayload",
+    "read_http_request",
+    "write_http_response",
+]
 
 _MAX_HEADER_BYTES = 16384
 _MAX_BODY_BYTES = 4 << 20
@@ -54,8 +60,9 @@ class HttpRequestError(ReproError):
     """Client-side error: reported as a 400 response, not a crash."""
 
 
-class _TextPayload:
-    """A non-JSON response body: ``_respond`` sends it verbatim."""
+class TextPayload:
+    """A non-JSON response body; :func:`write_http_response` sends its
+    ``text`` verbatim under its ``content_type``."""
 
     __slots__ = ("content_type", "text")
 
@@ -66,6 +73,85 @@ class _TextPayload:
 
 #: Content type Prometheus scrapers expect for the text exposition.
 _PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
+    """Read one HTTP/1.1 request from an asyncio stream.
+
+    Returns ``(method, path, version, headers, body)`` — method and
+    version uppercased, header names lowercased — or ``None`` on a
+    clean EOF before any bytes of a request.  Malformed or oversized
+    input raises :class:`HttpRequestError`, which servers report as a
+    400.  This is the request side of every HTTP front end in the
+    serve tier (query service, shard workers).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        return None
+    except asyncio.LimitOverrunError:
+        # Head exceeded the StreamReader's own limit before our
+        # size check could run; same answer either way.
+        raise HttpRequestError("request head too large")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise HttpRequestError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, path, version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HttpRequestError(f"malformed request line {lines[0]!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpRequestError(f"bad Content-Length {raw_length!r}")
+    if length < 0:
+        raise HttpRequestError(f"bad Content-Length {raw_length!r}")
+    if length:
+        if length > _MAX_BODY_BYTES:
+            raise HttpRequestError("request body too large")
+        body = await reader.readexactly(length)
+    return method.upper(), path, version.strip().upper(), headers, body
+
+
+async def write_http_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: object,
+    keep_alive: bool,
+) -> None:
+    """Write one HTTP/1.1 response and drain the stream.
+
+    ``payload`` is either a JSON-serializable dict (sent as
+    ``application/json``) or a :class:`TextPayload` (sent verbatim
+    under its own content type).
+    """
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              405: "Method Not Allowed"}.get(status, "OK")
+    if isinstance(payload, TextPayload):
+        content_type = payload.content_type
+        body = payload.text.encode("utf-8")
+    else:
+        content_type = "application/json"
+        body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
 
 
 class QueryHttpServer:
@@ -139,10 +225,11 @@ class QueryHttpServer:
         try:
             while True:
                 try:
-                    request = await self._read_request(reader)
+                    request = await read_http_request(reader)
                 except HttpRequestError as exc:
                     self.metrics.increment("http_errors")
-                    await self._respond(writer, 400, {"error": str(exc)}, False)
+                    await write_http_response(
+                        writer, 400, {"error": str(exc)}, False)
                     break
                 if request is None:
                     break
@@ -160,7 +247,7 @@ class QueryHttpServer:
                 except HttpRequestError as exc:
                     self.metrics.increment("http_errors")
                     status, payload = 400, {"error": str(exc)}
-                await self._respond(writer, status, payload, keep_alive)
+                await write_http_response(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError,
@@ -169,69 +256,6 @@ class QueryHttpServer:
         finally:
             self._writers.discard(writer)
             writer.close()
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError:
-            return None
-        except asyncio.LimitOverrunError:
-            # Head exceeded the StreamReader's own limit before our
-            # size check could run; same answer either way.
-            raise HttpRequestError("request head too large")
-        if len(head) > _MAX_HEADER_BYTES:
-            raise HttpRequestError("request head too large")
-        lines = head.decode("latin-1").split("\r\n")
-        try:
-            method, path, version = lines[0].split(" ", 2)
-        except ValueError:
-            raise HttpRequestError(f"malformed request line {lines[0]!r}")
-        headers: Dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        body = b""
-        raw_length = headers.get("content-length", "0") or "0"
-        try:
-            length = int(raw_length)
-        except ValueError:
-            raise HttpRequestError(f"bad Content-Length {raw_length!r}")
-        if length < 0:
-            raise HttpRequestError(f"bad Content-Length {raw_length!r}")
-        if length:
-            if length > _MAX_BODY_BYTES:
-                raise HttpRequestError("request body too large")
-            body = await reader.readexactly(length)
-        return method.upper(), path, version.strip().upper(), headers, body
-
-    async def _respond(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: Dict[str, object],
-        keep_alive: bool,
-    ) -> None:
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed"}.get(status, "OK")
-        if isinstance(payload, _TextPayload):
-            content_type = payload.content_type
-            body = payload.text.encode("utf-8")
-        else:
-            content_type = "application/json"
-            body = json.dumps(payload).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
 
     # ------------------------------------------------------------------
     # Routing
@@ -248,7 +272,7 @@ class QueryHttpServer:
         if url.path == "/metrics" and method == "GET":
             fmt = (parse_qs(url.query).get("format") or ["json"])[0]
             if fmt == "prometheus":
-                return 200, _TextPayload(
+                return 200, TextPayload(
                     self.metrics.render_prometheus(),
                     _PROMETHEUS_CONTENT_TYPE,
                 )

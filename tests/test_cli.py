@@ -65,9 +65,25 @@ class TestParser:
     def test_experiment_defaults(self):
         args = build_parser().parse_args(["experiment"])
         assert args.command == "experiment"
-        assert args.executor == "serial"
+        # None means "the spec decides" (serial unless a --spec file
+        # names another executor).
+        assert args.executor is None
         assert args.fractions == "all"
         assert args.trials == 20
+        assert args.shards is None
+        assert args.shard_hosts is None
+        assert args.shard_retries == 2
+
+    def test_shard_worker_parses(self):
+        args = build_parser().parse_args([
+            "shard-worker", "--spec", "spec.json", "--shard", "1",
+            "--shards", "4", "--out", "shard1.jsonl",
+        ])
+        assert args.command == "shard-worker"
+        assert (args.shard, args.shards) == (1, 4)
+        assert not args.listen
+        listen = build_parser().parse_args(["shard-worker", "--listen"])
+        assert listen.listen and listen.port == 0
 
 
 class TestCompressCommand:

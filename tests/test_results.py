@@ -650,6 +650,102 @@ class TestStoreAndMerge:
             run_result(header, records)
 
 
+class TestMergeEdgeCases:
+    """merge_runs under the shapes a sharded run can leave behind."""
+
+    def test_merge_needs_inputs(self, tmp_path):
+        with pytest.raises(ReproError, match="at least one input run"):
+            merge_runs(tmp_path / "out.jsonl", [])
+
+    def test_empty_shard_run_contributes_nothing(
+        self, topology, tmp_path
+    ):
+        # A shard whose slice the coordinator never needed (or that
+        # died before its first record) is a header-only run file.
+        spec = small_spec()
+        full_path = tmp_path / "full.jsonl"
+        run_full(topology, spec, full_path)
+        empty = tmp_path / "empty.jsonl"
+        sink = JsonlSink(empty)
+        sink.begin(RunHeader.for_spec(spec))
+        sink.close()
+        out = tmp_path / "out.jsonl"
+        header, count = merge_runs(out, [full_path, empty])
+        assert count == len(read_run(full_path)[1])
+        assert out.read_bytes() == full_path.read_bytes()
+
+    def test_single_shard_union_is_identity(self, topology, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        run_full(topology, spec, path)
+        out = tmp_path / "out.jsonl"
+        merge_runs(out, [path])
+        assert out.read_bytes() == path.read_bytes()
+
+    def test_duplicate_identical_shard_collapses(
+        self, topology, tmp_path
+    ):
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        run_full(topology, spec, path)
+        once, twice = tmp_path / "once.jsonl", tmp_path / "twice.jsonl"
+        merge_runs(once, [path])
+        merge_runs(twice, [path, path])
+        assert twice.read_bytes() == once.read_bytes()
+
+    def test_conflicting_records_rejected(self, topology, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "run.jsonl"
+        run_full(topology, spec, path)
+        # Rewrite one record's outcome in a copy: same grid
+        # coordinate, different payload — a re-evaluation that
+        # diverged, which merging must refuse to paper over.
+        lines = path.read_bytes().splitlines(keepends=True)
+        record = json.loads(lines[1])
+        record["attacker_fraction"] = 0.123456
+        forged = tmp_path / "forged.jsonl"
+        forged.write_bytes(
+            lines[0]
+            + json.dumps(record).encode()
+            + b"\n"
+            + b"".join(lines[2:])
+        )
+        with pytest.raises(
+            ReproError, match="conflicting records for fraction index"
+        ):
+            merge_runs(tmp_path / "out.jsonl", [path, forged])
+
+    def test_truncated_then_recovered_shard_merges(
+        self, topology, tmp_path
+    ):
+        # A shard killed mid-write leaves a partial tail line; the
+        # reader drops it, and a retry that resumed the same file
+        # completes it.  Both states must merge cleanly.
+        spec = small_spec()
+        full_path = tmp_path / "full.jsonl"
+        _, lines = run_full(topology, spec, full_path)
+        partial = tmp_path / "partial.jsonl"
+        interrupt(partial, lines, keep=7)  # + half of line 7
+        out = tmp_path / "out.jsonl"
+        header, count = merge_runs(out, [full_path, partial])
+        assert out.read_bytes() == full_path.read_bytes()
+        # Recover the partial exactly as a retried shard would: the
+        # resume scan truncates the torn tail, then the writer
+        # re-appends the missing records.
+        sink = JsonlSink(partial)
+        sink.resume_scan(spec)
+        sink.begin(RunHeader.for_spec(spec))
+        recovered = {
+            line + b"\n" for line in partial.read_bytes().splitlines()
+        }
+        for line in lines[1:]:
+            if line not in recovered:
+                sink.write(TrialRecord.from_json_dict(json.loads(line)))
+        sink.close()
+        merge_runs(out, [partial])
+        assert out.read_bytes() == full_path.read_bytes()
+
+
 # ----------------------------------------------------------------------
 # Live serving
 # ----------------------------------------------------------------------

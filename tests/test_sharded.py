@@ -1,0 +1,511 @@
+"""repro.exper.sharded: the sharded executor, proven byte-identical.
+
+The pinned invariant (docs/architecture.md): a sharded run's output —
+aggregated result *and* recorded sink file — is byte-identical to the
+serial executor's, under both seeding disciplines, with early stopping
+on or off, **including** after a shard is killed or raises mid-stream
+(the coordinator retries/reassigns) and after the coordinator itself
+dies and is resumed.  Also pinned here:
+
+* shard planning tiles the grid's canonical order contiguously, and
+  shard JSON round-trips;
+* ``executor="auto"`` resolves to serial on a single core (the 0.87x
+  one-core process regression) and to process otherwise;
+* a property-style sweep of randomized small specs agrees across
+  serial, process, and sharded executors;
+* crashed shards leak neither shared-memory segments nor temporary
+  shard stores;
+* the HTTP transport (serve tier shard workers) produces the same
+  bytes, reassigns away from dead hosts, and refuses topology
+  mismatches.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import random
+import urllib.request
+
+import pytest
+
+from repro.data import TopologyProfile, generate_topology
+from repro.exper import (
+    AnyAsPairSampler,
+    ExperimentRunner,
+    ExperimentSpec,
+    MaxLengthLooseRoa,
+    MinimalRoa,
+    NoRoa,
+    ScenarioCell,
+    Shard,
+    ShardCoordinator,
+    StubPairSampler,
+    plan_shards,
+    resolve_executor,
+)
+from repro.exper.sharded import FAULT_ENV
+from repro.netbase.errors import ReproError
+from repro.results import JsonlSink, ResultsStore, read_run, shard_run_id
+from repro.serve import HttpShardTransport, ThreadedShardWorkerServer
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return generate_topology(TopologyProfile(ases=150), random.Random(9))
+
+
+def small_spec(**kwargs) -> ExperimentSpec:
+    defaults = dict(
+        cells=(
+            ScenarioCell("forged-origin-subprefix", MinimalRoa()),
+            ScenarioCell("forged-origin-subprefix", MaxLengthLooseRoa()),
+        ),
+        trials=6,
+        seed=4,
+        fractions=(None, 0.5),
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+def run_recorded(topology, spec, path, **runner_kwargs):
+    """A recorded run; returns (result, file bytes)."""
+    sink = JsonlSink(path)
+    try:
+        result = ExperimentRunner(
+            topology, spec, sink=sink, **runner_kwargs
+        ).run(bootstrap_resamples=200)
+    finally:
+        sink.close()
+    return result, path.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+
+
+class TestPlanning:
+    def test_shards_tile_the_grid_contiguously(self):
+        spec = small_spec(trials=5, fractions=(None, 0.5))
+        plan = plan_shards(spec, 3)
+        assert [shard.ranges for shard in plan] == [
+            ((0, 0, 4),),
+            ((0, 4, 5), (1, 0, 2)),
+            ((1, 2, 5),),
+        ]
+        assert sum(shard.trial_count for shard in plan) == 10
+        seen = []
+        for fraction_index in range(2):
+            for trial_index in range(5):
+                owners = [
+                    shard.shard_index for shard in plan
+                    if shard.contains(fraction_index, trial_index)
+                ]
+                assert len(owners) == 1
+                seen.append(owners[0])
+        # Walking the grid in canonical order visits shards in order.
+        assert seen == sorted(seen)
+
+    def test_plan_clamps_to_total_trials(self):
+        spec = small_spec(trials=2, fractions=(None,))
+        plan = plan_shards(spec, 10)
+        assert len(plan) == 2
+
+    def test_plan_rejects_nonpositive(self):
+        with pytest.raises(ReproError, match="positive"):
+            plan_shards(small_spec(), 0)
+
+    def test_shard_json_round_trip(self):
+        shard = plan_shards(small_spec(trials=5), 3)[1]
+        wire = json.loads(json.dumps(shard.to_json_dict()))
+        assert Shard.from_json_dict(wire) == shard
+
+    def test_bad_shard_json_rejected(self):
+        with pytest.raises(ReproError, match="shard JSON missing key"):
+            Shard.from_json_dict({"shard_index": 0})
+
+    def test_shard_run_ids(self):
+        assert shard_run_id("grid-abc", 2, 12) == "grid-abc.shard02of12"
+        store = ResultsStore("unused")
+        assert store.shard_ids("g", 2) == ["g.shard0of2", "g.shard1of2"]
+        with pytest.raises(ReproError, match="outside the plan|outside"):
+            shard_run_id("g", 5, 3)
+        with pytest.raises(ReproError, match="bad shard run id"):
+            shard_run_id("bad name", 0, 1)
+
+
+# ----------------------------------------------------------------------
+# Executor selection
+# ----------------------------------------------------------------------
+
+
+class TestAutoExecutor:
+    def test_auto_falls_back_to_serial_on_one_core(self):
+        # The one-core process executor was measured at 0.87x serial
+        # (ROADMAP): auto must never pick it there.
+        assert resolve_executor("auto", cpu_count=1) == "serial"
+
+    def test_auto_uses_process_with_parallelism(self):
+        assert resolve_executor("auto", cpu_count=4) == "process"
+
+    def test_auto_respects_explicit_width_of_one(self):
+        assert resolve_executor("auto", workers=1, cpu_count=8) == "serial"
+        assert resolve_executor("auto", shards=1, cpu_count=8) == "serial"
+
+    def test_concrete_executors_pass_through(self):
+        for name in ("serial", "process", "sharded"):
+            assert resolve_executor(name, cpu_count=1) == name
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ReproError, match="unknown executor"):
+            resolve_executor("threads")
+        with pytest.raises(ReproError, match="unknown executor"):
+            ExperimentSpec(
+                cells=(ScenarioCell("forged-origin-subprefix", NoRoa()),),
+                trials=1, executor="threads",
+            )
+
+    def test_spec_executor_round_trips_but_not_identity(self):
+        serial = small_spec(executor="serial")
+        sharded = small_spec(executor="sharded")
+        assert ExperimentSpec.from_json(
+            sharded.to_json()
+        ).executor == "sharded"
+        # Execution strategy is not run identity: same hash, so runs
+        # merge and resume across executors.
+        assert serial.spec_hash() == sharded.spec_hash()
+
+
+# ----------------------------------------------------------------------
+# Byte-identity to serial
+# ----------------------------------------------------------------------
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("seeding", ["derived", "stream"])
+    @pytest.mark.parametrize("stopping", ["none", "ci"])
+    def test_sharded_matches_serial_bytes(
+        self, topology, tmp_path, seeding, stopping
+    ):
+        spec = small_spec(
+            trials=8, seeding=seeding, stopping=stopping,
+            stop_ci_width=0.4, stop_min_trials=3, stop_check_every=2,
+        )
+        serial, serial_bytes = run_recorded(
+            topology, spec, tmp_path / "serial.jsonl", executor="serial")
+        sharded, sharded_bytes = run_recorded(
+            topology, spec, tmp_path / "sharded.jsonl",
+            executor="sharded", shards=3)
+        assert sharded == serial
+        assert sharded_bytes == serial_bytes
+
+    def test_shard_store_merges_back_to_serial(self, topology, tmp_path):
+        spec = small_spec()
+        _, serial_bytes = run_recorded(
+            topology, spec, tmp_path / "serial.jsonl", executor="serial")
+        store = ResultsStore(tmp_path / "shards")
+        run_recorded(
+            topology, spec, tmp_path / "sharded.jsonl",
+            executor="sharded", shards=3, shard_store=store)
+        ids = store.run_ids()
+        assert len(ids) == 3 and all(".shard" in i for i in ids)
+        store.merge("merged", ids)
+        assert store.path("merged").read_bytes() == serial_bytes
+
+    def test_property_random_specs_agree_across_executors(
+        self, topology, tmp_path
+    ):
+        """~20 seeded random small specs: serial == process == sharded."""
+        rng = random.Random(20250807)
+        kinds = ("forged-origin-subprefix", "forged-origin")
+        policies = (MinimalRoa(), MaxLengthLooseRoa(), NoRoa())
+        combos = [(kind, policy) for kind in kinds for policy in policies]
+        for case in range(20):
+            cells = tuple(
+                ScenarioCell(kind, policy)
+                for kind, policy in rng.sample(combos, rng.randint(1, 2))
+            )
+            spec = ExperimentSpec(
+                cells=cells,
+                trials=rng.randint(2, 5),
+                seed=rng.randint(0, 999),
+                fractions=tuple(
+                    rng.sample([None, 0.0, 0.5, 1.0], rng.randint(1, 2))
+                ),
+                sampler=rng.choice(
+                    [StubPairSampler(), AnyAsPairSampler()]),
+                seeding=rng.choice(["derived", "stream"]),
+                stopping=rng.choice(["none", "ci"]),
+                stop_ci_width=0.5, stop_min_trials=2, stop_check_every=1,
+            )
+            serial, serial_bytes = run_recorded(
+                topology, spec, tmp_path / f"{case}-serial.jsonl",
+                executor="serial")
+            process, process_bytes = run_recorded(
+                topology, spec, tmp_path / f"{case}-process.jsonl",
+                executor="process", workers=2)
+            sharded, sharded_bytes = run_recorded(
+                topology, spec, tmp_path / f"{case}-sharded.jsonl",
+                executor="sharded", shards=rng.randint(2, 4))
+            assert process == serial and sharded == serial, f"case {case}"
+            # The process executor may interleave fractions in its
+            # sink (records release on completion watermarks); its
+            # record *set* is identical.  The sharded coordinator
+            # re-streams in grid order, so its file is byte-for-byte
+            # the serial one.
+            assert sorted(set(process_bytes.splitlines())) == sorted(
+                set(serial_bytes.splitlines())), f"case {case}"
+            assert sharded_bytes == serial_bytes, f"case {case}"
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("mode", ["kill", "raise"])
+    @pytest.mark.parametrize("seeding", ["derived", "stream"])
+    def test_shard_death_mid_stream_retried_byte_identical(
+        self, topology, tmp_path, monkeypatch, mode, seeding
+    ):
+        spec = small_spec(seeding=seeding)
+        _, serial_bytes = run_recorded(
+            topology, spec, tmp_path / "serial.jsonl", executor="serial")
+        # Shard 1 dies after 3 records on its first attempt; the
+        # retry must pick up from its flushed partial and the merged
+        # stream must not show a seam.
+        monkeypatch.setenv(FAULT_ENV, f"1:{mode}:3")
+        sharded, sharded_bytes = run_recorded(
+            topology, spec, tmp_path / "sharded.jsonl",
+            executor="sharded", shards=3)
+        assert sharded_bytes == serial_bytes
+
+    def test_instant_death_and_store_retry_resumes_partial(
+        self, topology, tmp_path, monkeypatch
+    ):
+        spec = small_spec()
+        _, serial_bytes = run_recorded(
+            topology, spec, tmp_path / "serial.jsonl", executor="serial")
+        monkeypatch.setenv(FAULT_ENV, "0:kill:0")
+        store = ResultsStore(tmp_path / "shards")
+        _, sharded_bytes = run_recorded(
+            topology, spec, tmp_path / "sharded.jsonl",
+            executor="sharded", shards=3, shard_store=store)
+        assert sharded_bytes == serial_bytes
+
+    def test_no_leaked_segments_or_shard_dirs(
+        self, topology, tmp_path, monkeypatch
+    ):
+        before = set(glob.glob("/tmp/repro-shards-*"))
+        spec = small_spec(trials=3)
+        monkeypatch.setenv(FAULT_ENV, "1:kill:2")
+        runner = ExperimentRunner(topology, spec, executor="sharded",
+                                  shards=2)
+        runner.run(bootstrap_resamples=100)
+        # The coordinator's temporary shard store is gone...
+        assert set(glob.glob("/tmp/repro-shards-*")) == before
+        # ...and so is the topology's shared-memory segment.
+        segment = runner.last_shared_segment
+        if segment is not None:
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=segment)
+
+    def test_retries_exhausted_raises(self, topology, monkeypatch):
+        spec = small_spec(trials=3)
+        monkeypatch.setenv(FAULT_ENV, "0:kill:0")
+        coordinator = ShardCoordinator(
+            topology, spec, shards=2, retries=0)
+        with pytest.raises(ReproError, match="failed after 1 attempts"):
+            list(coordinator.records())
+
+    def test_fault_env_only_fires_on_first_attempt(self, monkeypatch):
+        from repro.exper.sharded import _parse_fault
+
+        assert _parse_fault("1:kill:3", 1, 0) == ("kill", 3)
+        assert _parse_fault("1:kill:3", 1, 1) is None
+        assert _parse_fault("1:kill:3", 0, 0) is None
+        assert _parse_fault(None, 1, 0) is None
+        with pytest.raises(ReproError, match="bad .*FAULT"):
+            _parse_fault("nonsense", 0, 0)
+
+
+# ----------------------------------------------------------------------
+# Coordinator resume
+# ----------------------------------------------------------------------
+
+
+class TestCoordinatorResume:
+    @pytest.mark.parametrize("seeding", ["derived", "stream"])
+    def test_killed_coordinator_resumes_byte_identical(
+        self, topology, tmp_path, seeding
+    ):
+        spec = small_spec(seeding=seeding)
+        full_path = tmp_path / "full.jsonl"
+        full, full_bytes = run_recorded(
+            topology, spec, full_path, executor="serial")
+        # Rewrite the coordinator's sink as its death would have left
+        # it: a complete prefix plus half a record line.
+        lines = full_path.read_bytes().splitlines(keepends=True)
+        part = tmp_path / "part.jsonl"
+        part.write_bytes(b"".join(lines[:8]) + lines[8][: len(lines[8]) // 2])
+        sink = JsonlSink(part)
+        try:
+            resumed = ExperimentRunner(
+                topology, spec, executor="sharded", shards=3,
+                sink=sink, resume_from=sink,
+            ).run(bootstrap_resamples=200)
+        finally:
+            sink.close()
+        assert resumed == full
+        # The half-recorded trial is re-evaluated whole; its re-written
+        # records are byte-identical, so the *deduplicated* stream is
+        # byte-for-byte the uninterrupted run (the durable-sink resume
+        # contract, same as the serial executor's).
+        assert read_run(part) == read_run(full_path)
+        assert sorted(set(part.read_bytes().splitlines())) == sorted(
+            set(full_bytes.splitlines()))
+
+    def test_resume_with_persistent_store_reuses_shard_files(
+        self, topology, tmp_path, monkeypatch
+    ):
+        """Coordinator death + resume over the same shard store: the
+        surviving complete shard files short-circuit re-evaluation."""
+        spec = small_spec()
+        full_path = tmp_path / "full.jsonl"
+        _, full_bytes = run_recorded(
+            topology, spec, full_path, executor="serial")
+        store = ResultsStore(tmp_path / "shards")
+        sink_path = tmp_path / "sharded.jsonl"
+        _, sharded_bytes = run_recorded(
+            topology, spec, sink_path, executor="sharded", shards=3,
+            shard_store=store)
+        assert sharded_bytes == full_bytes
+        # "Kill" the coordinator: truncate its sink (on a complete
+        # trial boundary), keep shard files.
+        lines = sink_path.read_bytes().splitlines(keepends=True)
+        sink_path.write_bytes(b"".join(lines[:5]))
+        sink = JsonlSink(sink_path)
+        try:
+            resumed = ExperimentRunner(
+                topology, spec, executor="sharded", shards=3,
+                shard_store=store, sink=sink, resume_from=sink,
+            ).run(bootstrap_resamples=200)
+        finally:
+            sink.close()
+        assert sink_path.read_bytes() == full_bytes
+        full_result, _ = run_recorded(
+            topology, spec, tmp_path / "again.jsonl", executor="serial")
+        assert resumed == full_result
+
+
+# ----------------------------------------------------------------------
+# The HTTP transport (serve-tier shard workers)
+# ----------------------------------------------------------------------
+
+
+class TestHttpTransport:
+    def test_http_workers_byte_identical(self, topology, tmp_path):
+        spec = small_spec(trials=4)
+        _, serial_bytes = run_recorded(
+            topology, spec, tmp_path / "serial.jsonl", executor="serial")
+        with ThreadedShardWorkerServer(topology) as w1, \
+                ThreadedShardWorkerServer(topology) as w2:
+            transport = HttpShardTransport([
+                f"127.0.0.1:{w1.port}", f"http://127.0.0.1:{w2.port}",
+            ])
+            _, sharded_bytes = run_recorded(
+                topology, spec, tmp_path / "http.jsonl",
+                executor="sharded", shards=3, shard_transport=transport)
+        assert sharded_bytes == serial_bytes
+
+    def test_dead_host_reassigned(self, topology, tmp_path):
+        spec = small_spec(trials=4, fractions=(None,))
+        _, serial_bytes = run_recorded(
+            topology, spec, tmp_path / "serial.jsonl", executor="serial")
+        with ThreadedShardWorkerServer(topology) as worker:
+            # Port 9 (discard) is a dead host: its shards fail fast
+            # and rotate onto the live worker on retry.
+            transport = HttpShardTransport(
+                [f"127.0.0.1:{worker.port}", "127.0.0.1:9"],
+                request_timeout=2.0,
+            )
+            assert transport.host_for(1, 0).endswith(":9")
+            assert transport.host_for(1, 1).endswith(f":{worker.port}")
+            _, sharded_bytes = run_recorded(
+                topology, spec, tmp_path / "http.jsonl",
+                executor="sharded", shards=2, shard_transport=transport)
+        assert sharded_bytes == serial_bytes
+
+    def test_topology_mismatch_refused(self, topology):
+        other = generate_topology(
+            TopologyProfile(ases=80), random.Random(2))
+        spec = small_spec(trials=2, fractions=(None,))
+        with ThreadedShardWorkerServer(other) as worker:
+            transport = HttpShardTransport([f"127.0.0.1:{worker.port}"])
+            coordinator = ShardCoordinator(
+                topology, spec, shards=1, transport=transport, retries=0)
+            with pytest.raises(ReproError, match="topology mismatch"):
+                list(coordinator.records())
+
+    def test_worker_status_endpoints(self, topology):
+        with ThreadedShardWorkerServer(topology) as worker:
+            base = f"http://127.0.0.1:{worker.port}"
+            with urllib.request.urlopen(f"{base}/status", timeout=5) as r:
+                status = json.load(r)
+            assert status["topology_hash"] == worker.topology_hash
+            assert status["shards"] == 0
+            with urllib.request.urlopen(f"{base}/shards", timeout=5) as r:
+                assert json.load(r) == {"shards": []}
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{base}/shards/7", timeout=5)
+            assert err.value.code == 404
+
+
+# ----------------------------------------------------------------------
+# Runner integration details
+# ----------------------------------------------------------------------
+
+
+class TestRunnerIntegration:
+    def test_spec_executor_drives_runner(self, topology):
+        spec = small_spec(trials=2, fractions=(None,), executor="sharded")
+        runner = ExperimentRunner(topology, spec)
+        assert runner.executor == "sharded"
+        # An explicit runner argument overrides the spec.
+        assert ExperimentRunner(
+            topology, spec, executor="serial"
+        ).executor == "serial"
+
+    def test_shard_metrics_recorded(self, topology):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        spec = small_spec(trials=3, fractions=(None,))
+        ExperimentRunner(
+            topology, spec, executor="sharded", shards=2,
+            registry=registry,
+        ).run(bootstrap_resamples=100)
+        snapshot = registry.snapshot()
+        assert snapshot["exper.shards_dispatched"] == 2
+        assert snapshot["exper.shards_completed"] == 2
+
+    def test_array_engine_sharded_matches_object(self, topology, tmp_path):
+        object_spec = small_spec(trials=4, fractions=(None,))
+        array_spec = small_spec(
+            trials=4, fractions=(None,), engine="array")
+        _, object_bytes = run_recorded(
+            topology, object_spec, tmp_path / "object.jsonl",
+            executor="sharded", shards=2)
+        _, array_bytes = run_recorded(
+            topology, array_spec, tmp_path / "array.jsonl",
+            executor="sharded", shards=2)
+        header, object_records = read_run(tmp_path / "object.jsonl")
+        _, array_records = read_run(tmp_path / "array.jsonl")
+        assert header.engine == "object"
+        assert array_records == object_records
