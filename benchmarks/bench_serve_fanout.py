@@ -9,6 +9,11 @@ Measures the two acceptance numbers of the ``repro.serve`` subsystem:
   matter how many routers connect.
 * **Query throughput** — in-process ``validity()`` lookups/sec against
   the radix-indexed snapshot, single-shot and batch.
+* **Hardening under churn and slow consumers** — the server survives
+  rapid connect/sync/disconnect churn, and routers that flood Reset
+  Queries while never reading are evicted by the per-client write
+  deadline with the server's outstanding write buffers bounded (the
+  memory claim behind ``client_deadline``; see docs/robustness.md).
 
 Emits a JSON document to stdout (machine-readable, like the other
 ``bench_*`` outputs land in ``results/``) and a copy into
@@ -29,6 +34,7 @@ import time
 from benchlib import emit_report, phase
 from repro.netbase import AF_INET, Prefix
 from repro.rpki import Vrp
+from repro.rtr.pdu import ResetQueryPdu, encode_pdu
 from repro.serve import (
     AsyncRtrClient,
     AsyncRtrServer,
@@ -74,6 +80,74 @@ async def bench_rtr_fanout(vrps: list[Vrp], clients: int) -> dict:
         # The tentpole claim: one encode per serial, not per client.
         "table_encodes": metrics["frame_encodes"],
         "frame_cache_hits": metrics["frame_hits"],
+    }
+
+
+async def bench_hardening(
+    vrps: list[Vrp],
+    churn_cycles: int,
+    slow_clients: int,
+    deadline: float = 0.25,
+) -> dict:
+    """Disconnect churn, then slow consumers against one server.
+
+    The slow clients flood Reset Queries (each answer is a full-table
+    frame) and never read; with ``client_deadline`` set the server
+    must evict every one of them and its outstanding write buffers
+    must stay bounded instead of absorbing the unread frames.
+    """
+    metrics = ServeMetrics()
+    async with AsyncRtrServer(
+        vrps, metrics=metrics, client_deadline=deadline
+    ) as server:
+        started = time.perf_counter()
+        for _ in range(churn_cycles):
+            router = AsyncRtrClient()
+            await router.connect(server.host, server.port)
+            await router.sync()
+            await router.close()
+        churn_elapsed = time.perf_counter() - started
+
+        flood = encode_pdu(ResetQueryPdu()) * 128
+        stuck = []
+        for _ in range(slow_clients):
+            _, writer = await asyncio.open_connection(
+                server.host, server.port)
+            writer.write(flood)
+            await writer.drain()
+            stuck.append(writer)
+        started = time.perf_counter()
+        wait_until = asyncio.get_running_loop().time() + 30
+        while metrics["clients_evicted"] < slow_clients:
+            if asyncio.get_running_loop().time() >= wait_until:
+                break
+            await asyncio.sleep(0.02)
+        eviction_elapsed = time.perf_counter() - started
+        outstanding = sum(
+            writer.transport.get_write_buffer_size()
+            for writer in server._writers
+            if not writer.is_closing()
+        )
+        for writer in stuck:
+            writer.close()
+
+        # A well-behaved router still gets the full table afterwards.
+        probe = AsyncRtrClient()
+        await probe.connect(server.host, server.port)
+        await probe.sync()
+        probe_ok = len(probe.vrps) == len(vrps)
+        await probe.close()
+    return {
+        "churn_cycles": churn_cycles,
+        "churn_seconds": round(churn_elapsed, 4),
+        "churn_cycles_per_second": round(churn_cycles / churn_elapsed, 1),
+        "slow_clients": slow_clients,
+        "client_deadline_seconds": deadline,
+        "clients_evicted": metrics["clients_evicted"],
+        "eviction_seconds": round(eviction_elapsed, 4),
+        "outstanding_write_buffer_bytes": outstanding,
+        "requests_shed": metrics["requests_shed"],
+        "probe_table_complete": probe_ok,
     }
 
 
@@ -125,6 +199,10 @@ def main(argv=None) -> int:
     parser.add_argument("--vrps", type=int, default=10000)
     parser.add_argument("--clients", type=int, default=100)
     parser.add_argument("--queries", type=int, default=100000)
+    parser.add_argument("--churn", type=int, default=25,
+                        help="connect/sync/close churn cycles")
+    parser.add_argument("--slow-clients", type=int, default=4,
+                        help="never-reading routers to flood and evict")
     parser.add_argument("--seed", type=int, default=20170601)
     args = parser.parse_args(argv)
 
@@ -139,18 +217,31 @@ def main(argv=None) -> int:
     print(f"queries: {args.queries} validity lookups...", file=sys.stderr)
     with phase("run"):
         queries = bench_queries(vrps, args.queries, rng)
+    print(f"hardening: {args.churn} churn cycles, "
+          f"{args.slow_clients} slow clients...", file=sys.stderr)
+    with phase("run"):
+        hardening = asyncio.run(bench_hardening(
+            vrps, args.churn, args.slow_clients))
 
     return emit_report(
         "serve_fanout",
         {
             "rtr_fanout": fanout,
             "validity_queries": queries,
+            "hardening": hardening,
         },
         {
             "single_table_encode": fanout["table_encodes"] == 1,
             "all_tables_complete": fanout["all_tables_complete"],
             "gte_50k_queries_per_second":
                 queries["batch_per_second"] >= 50000,
+            "server_survives_churn": hardening["probe_table_complete"],
+            "slow_clients_evicted":
+                hardening["clients_evicted"] >= args.slow_clients,
+            # The memory claim: unread frames must not pile up in the
+            # server once the deadline has evicted the slow consumers.
+            "eviction_bounds_buffers":
+                hardening["outstanding_write_buffer_bytes"] < (1 << 20),
         },
     )
 

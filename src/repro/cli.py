@@ -26,6 +26,11 @@ Subcommands mirror the paper's workflow:
 * ``shard-worker`` — execute one shard of a grid into its own run
   file, or (``--listen``) serve shards over HTTP to a
   ``--shard-hosts`` coordinator (see :mod:`repro.exper.sharded`).
+* ``chaos``     — seeded fault-injection drills (:mod:`repro.faults`):
+  a sharded experiment under worker crashes and sink IO errors whose
+  output is byte-identical to a fault-free serial run, or the HTTP
+  tier under connection faults plus a graceful-drain health-flip
+  check; ``--emit-plan`` prints the deterministic fault plan.
 
 Examples::
 
@@ -43,6 +48,8 @@ Examples::
         --out shard0.jsonl
     repro-roa results show run.jsonl
     repro-roa results merge merged.jsonl shard0.jsonl shard1.jsonl
+    repro-roa chaos --seed 7 --trials 12 --shards 3 --json
+    repro-roa chaos --drill serve --seed 7
 """
 
 from __future__ import annotations
@@ -167,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--metrics-interval", type=float, metavar="N",
         help="log a metrics snapshot to stderr every N seconds",
+    )
+    serve.add_argument(
+        "--max-clients", type=int, metavar="N",
+        help="load shedding: refuse connections beyond N concurrent "
+             "clients per server (RTR closes immediately, HTTP "
+             "answers 503; default: unlimited)",
+    )
+    serve.add_argument(
+        "--client-deadline", type=float, metavar="SECS",
+        help="evict an RTR client whose socket cannot absorb a write "
+             "within SECS (slow-consumer protection; default: wait "
+             "forever)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, metavar="SECS",
+        help="on SIGTERM, wait up to SECS for in-flight HTTP "
+             "requests to finish before closing (default 10)",
     )
 
     experiment = sub.add_parser(
@@ -349,6 +373,50 @@ def build_parser() -> argparse.ArgumentParser:
     shard_worker.add_argument("--ases", type=int, default=400,
                               help="synthetic topology size")
     shard_worker.add_argument("--topology-seed", type=int, default=11)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection drills against the stack",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-plan seed (same seed, same faults)")
+    chaos.add_argument(
+        "--plan", metavar="FILE",
+        help="JSON FaultPlan file to install (instead of generating "
+             "one from --seed)",
+    )
+    chaos.add_argument(
+        "--emit-plan", action="store_true",
+        help="print the fault plan as JSON and exit (no drill)",
+    )
+    chaos.add_argument(
+        "--drill", choices=("experiment", "serve"), default="experiment",
+        help="experiment: sharded grid run under worker faults, "
+             "result identical to a fault-free serial run; serve: "
+             "HTTP tier under request faults plus a graceful-drain "
+             "health-flip check (default experiment)",
+    )
+    chaos.add_argument("--rules", type=int, default=2,
+                       help="rules per generated plan (default 2)")
+    chaos.add_argument("--trials", type=int, default=12)
+    chaos.add_argument("--spec-seed", type=int, default=0,
+                       help="experiment grid seed (default 0, matching "
+                            "repro-roa experiment)")
+    chaos.add_argument("--ases", type=int, default=150,
+                       help="synthetic topology size")
+    chaos.add_argument("--topology-seed", type=int, default=11)
+    chaos.add_argument("--shards", type=int, default=3)
+    chaos.add_argument(
+        "--shard-store", metavar="DIR",
+        help="keep per-shard run files under DIR (default: temporary)",
+    )
+    chaos.add_argument(
+        "--sink", metavar="PATH",
+        help="record the drilled run into this JSONL file — "
+             "byte-identical to a fault-free serial recording",
+    )
+    chaos.add_argument("--json", action="store_true",
+                       help="print the drill result as JSON")
     return parser
 
 
@@ -538,6 +606,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def run() -> None:
         import json
+        import signal
 
         from .obs import get_registry
 
@@ -546,13 +615,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # process recorded (serve.*, and any experiment run in-process).
         metrics = ServeMetrics(registry=get_registry())
         rtr = AsyncRtrServer(
-            vrps, host=args.rtr_host, port=args.rtr_port, metrics=metrics)
+            vrps, host=args.rtr_host, port=args.rtr_port, metrics=metrics,
+            max_clients=args.max_clients,
+            client_deadline=args.client_deadline)
         await rtr.start()
         service = QueryService(vrps, metrics=metrics)
         service.serial = rtr.state.serial
         http = QueryHttpServer(
             service, host=args.http_host, port=args.http_port,
-            metrics=metrics, runs=runs)
+            metrics=metrics, runs=runs,
+            max_clients=args.max_clients,
+            drain_timeout=(
+                args.drain_timeout if args.drain_timeout is not None
+                else 10.0
+            ))
         await http.start()
         print(
             f"serving: rtr={rtr.host}:{rtr.port} "
@@ -571,8 +647,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     )
 
             tasks.append(asyncio.ensure_future(log_metrics()))
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
         try:
-            await asyncio.Event().wait()  # serve until interrupted
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platforms without signal handlers: Ctrl-C only
+        try:
+            await stop.wait()  # serve until SIGTERM (or Ctrl-C raises)
+            # Graceful drain: shed new HTTP work (healthz flips to
+            # 503 for load balancers), wait out in-flight requests,
+            # then close both servers.
+            print("SIGTERM: draining ...", file=sys.stderr)
+            drained = await http.drain()
+            print(
+                f"drained in {drained:.3f}s; shutting down",
+                file=sys.stderr,
+            )
+            await http.close()
+            await rtr.close()
         finally:
             for task in tasks:
                 task.cancel()
@@ -909,6 +1002,208 @@ def _cmd_shard_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_plan(args: argparse.Namespace):
+    from .faults import FaultPlan
+
+    if args.plan:
+        return FaultPlan.from_json(
+            Path(args.plan).read_text(encoding="utf-8")
+        )
+    profile = "sharded" if args.drill == "experiment" else "serve"
+    return FaultPlan.generate(
+        args.seed, shards=args.shards, rules=args.rules, profile=profile,
+    )
+
+
+def _chaos_experiment(args: argparse.Namespace, plan) -> int:
+    """Sharded grid run under worker faults.
+
+    Stdout is exactly what ``repro-roa experiment --json`` prints for
+    the same grid run serially and fault-free — the chaos-equivalence
+    invariant, checked byte-for-byte by the CI ``chaos-smoke`` job.
+    """
+    import json
+    import os as os_module
+
+    from .data import TopologyProfile, generate_topology
+    from .exper import AttackConfig, ExperimentRunner, ExperimentSpec
+    from .exper import policy_from_name
+    from .faults import PLAN_ENV, install
+    from .netbase.errors import ReproError
+
+    # The exact default grid of `repro-roa experiment` (attacks,
+    # policies, sampler, victim prefix), so results compare 1:1.
+    spec = ExperimentSpec.grid(
+        [
+            AttackConfig("forged-origin-subprefix", attackers=1,
+                         prepend=0),
+            AttackConfig("forged-origin", attackers=1, prepend=0),
+        ],
+        [policy_from_name("minimal"), policy_from_name("maxlength-loose")],
+        trials=args.trials,
+        seed=args.spec_seed,
+    )
+    topology = generate_topology(
+        TopologyProfile(ases=args.ases), random.Random(args.topology_seed)
+    )
+    # Ship the plan to shard workers through the environment (local
+    # processes inherit it; install_from_env() gives each attempt
+    # fresh hit counters) and install it here for any in-process path.
+    os_module.environ[PLAN_ENV] = plan.to_json()
+    install(plan)
+    sink = None
+    if args.sink:
+        from .results import JsonlSink
+
+        sink = JsonlSink(args.sink)
+    try:
+        runner = ExperimentRunner(
+            topology, spec, executor="sharded", shards=args.shards,
+            shard_store=args.shard_store, sink=sink,
+        )
+        print(
+            f"chaos: {len(plan.rules)} fault rules (seed {plan.seed}) "
+            f"against {runner.shards} shards, "
+            f"{spec.total_trials} trials x {len(spec.cells)} cells",
+            file=sys.stderr,
+        )
+        result = runner.run()
+    except (ReproError, OSError) as exc:
+        print(f"chaos experiment drill failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if sink is not None:
+            sink.close()
+        os_module.environ.pop(PLAN_ENV, None)
+    # Worker faults fire inside worker processes; the coordinator
+    # observes them as shard failures and retries, so those counters
+    # are the drill's evidence (plan.fired covers in-process sites).
+    from .obs import get_registry
+
+    snap = get_registry().snapshot()
+    print(
+        f"shards failed: {snap.get('exper.shards_failed', 0)}, "
+        f"retried: {snap.get('exper.shards_retried', 0)}; "
+        f"in-process faults fired: {len(plan.fired)}",
+        file=sys.stderr,
+    )
+    if args.sink:
+        print(f"recorded run: {args.sink}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(_result_to_json(result), indent=2))
+    else:
+        print(result.render())
+    return 0
+
+
+def _chaos_serve(args: argparse.Namespace, plan) -> int:
+    """HTTP tier under request faults, then a graceful-drain check.
+
+    Exit status 0 requires observing the health flip: ``/healthz``
+    answers 200 before the drain and 503 during it (with ``/validity``
+    shed alongside) — the contract load balancers rely on.
+    """
+    import asyncio
+    import json
+
+    from .faults import install
+    from .netbase import Prefix
+    from .rpki import Vrp
+    from .serve import QueryHttpServer, QueryService
+
+    install(plan)
+
+    async def probe(host: str, port: int, path: str) -> int:
+        """Status code of one GET, or 0 if the connection died."""
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii")
+            )
+            await writer.drain()
+            status = await reader.readline()
+            parts = status.split()
+            return int(parts[1]) if len(parts) >= 2 else 0
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    async def drill() -> dict:
+        vrps = [
+            Vrp(Prefix.parse("168.122.0.0/16"), 24, 111),
+            Vrp(Prefix.parse("10.0.0.0/8"), 16, 65000),
+        ]
+        server = QueryHttpServer(QueryService(vrps), drain_timeout=5.0)
+        await server.start()
+        try:
+            before = await probe(server.host, server.port, "/healthz")
+            attempted, failed = 8, 0
+            for _ in range(attempted):
+                try:
+                    status = await probe(
+                        server.host, server.port,
+                        "/validity?asn=111&prefix=168.122.10.0/24",
+                    )
+                except OSError:
+                    status = 0  # reset before the status line arrived
+                if status != 200:
+                    failed += 1  # injected faults land here — expected
+            drained = await server.drain()
+            during = await probe(server.host, server.port, "/healthz")
+            shed = await probe(
+                server.host, server.port,
+                "/validity?asn=111&prefix=168.122.10.0/24",
+            )
+        finally:
+            await server.close()
+        return {
+            "drill": "serve",
+            "plan_seed": plan.seed,
+            "rules": len(plan.rules),
+            "faults_fired": len(plan.fired),
+            "requests_attempted": attempted,
+            "requests_failed": failed,
+            "healthz_before": before,
+            "drain_seconds": round(drained, 6),
+            "healthz_during_drain": during,
+            "validity_during_drain": shed,
+            "requests_shed": server.metrics["requests_shed"],
+        }
+
+    report = asyncio.run(drill())
+    print(json.dumps(report, indent=2 if args.json else None))
+    flipped = (
+        report["healthz_before"] == 200
+        and report["healthz_during_drain"] == 503
+        and report["validity_during_drain"] == 503
+    )
+    if not flipped:
+        print("chaos serve drill: health flip NOT observed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .netbase.errors import ReproError
+
+    try:
+        plan = _chaos_plan(args)
+    except (ReproError, OSError) as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    if args.emit_plan:
+        print(plan.to_json())
+        return 0
+    if args.drill == "serve":
+        return _chaos_serve(args, plan)
+    return _chaos_experiment(args, plan)
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "minimal": _cmd_minimal,
@@ -923,6 +1218,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "results": _cmd_results,
     "shard-worker": _cmd_shard_worker,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -346,6 +346,10 @@ class ExperimentRunner:
             the serve tier's ``HttpShardTransport`` for remote hosts).
         shard_retries: relaunch a dead shard this many times before
             the run fails (each retry resumes the shard's own file).
+        shard_retry: a :class:`~repro.faults.RetryPolicy` governing
+            shard retry count *and* backoff pacing; overrides
+            ``shard_retries`` when given (the default policy retries
+            immediately, preserving historical behaviour).
         shard_timeout: seconds without observable shard progress
             before the coordinator kills and reassigns it.
         sink: a :class:`~repro.results.sinks.ResultSink` that receives
@@ -388,6 +392,7 @@ class ExperimentRunner:
         shard_store=None,
         shard_transport=None,
         shard_retries: int = 2,
+        shard_retry=None,
         shard_timeout: float = 120.0,
         sink: Optional[ResultSink] = None,
         resume_from: Optional[ResultSink] = None,
@@ -411,6 +416,7 @@ class ExperimentRunner:
         self.shard_store = shard_store
         self.shard_transport = shard_transport
         self.shard_retries = shard_retries
+        self.shard_retry = shard_retry
         self.shard_timeout = shard_timeout
         self.sink = sink
         self.resume_from = resume_from
@@ -746,6 +752,7 @@ class ExperimentRunner:
             transport=self.shard_transport,
             parallel=self.workers,
             retries=self.shard_retries,
+            retry=self.shard_retry,
             timeout=self.shard_timeout,
             finished=finished,
             registry=self.registry,

@@ -32,11 +32,21 @@ serve tier's ``HttpShardTransport`` dispatches them to remote worker
 hosts over HTTP (the layering DAG forbids importing it from here; the
 CLI wires it in).
 
-Fault injection for the test suite and CI rides the
-``REPRO_SHARD_FAULT`` environment variable —
-``"<shard>:<kill|raise>:<after-records>"`` — honoured only on a
+Fault injection for the test suite and CI rides two channels.  The
+legacy ``REPRO_SHARD_FAULT`` environment variable —
+``"<shard>:<kill|raise>:<after-records>"`` — is honoured only on a
 shard's first attempt, so a faulted run exercises death *and*
-recovery.
+recovery.  The general mechanism is a :class:`~repro.faults.FaultPlan`
+carried via :data:`~repro.faults.PLAN_ENV`: workers install it at
+entry (:func:`~repro.faults.install_from_env`, resetting
+fork-inherited hit counters) and :func:`run_shard` fires the
+``exper.shard.record`` injection point after every record, tagged
+with ``shard`` and ``attempt`` so plans can scope faults to first
+attempts and specific shards.  Retry pacing is a
+:class:`~repro.faults.RetryPolicy` — deterministic
+backoff-with-jitter keyed on the run base and shard index — replacing
+the old immediate-relaunch loop (the default policy keeps zero delay,
+so existing behaviour is unchanged unless a policy is passed).
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ from typing import Callable, Iterator, Optional, Union
 
 from ..bgp.fastprop import PropagationWorkspace
 from ..bgp.topology import AsTopology, CompiledTopology
+from ..faults import RetryPolicy, fire, install_from_env
 from ..netbase.errors import ReproError
 from ..obs import trace
 from ..obs.metrics import MetricsRegistry, get_registry
@@ -241,6 +252,7 @@ def run_shard(
     workspace: Optional[PropagationWorkspace] = None,
     on_record: Optional[Callable[[TrialRecord], None]] = None,
     fault: Optional[tuple[str, int]] = None,
+    attempt: int = 0,
 ) -> int:
     """Evaluate one shard serially, in grid order; return records written.
 
@@ -256,7 +268,11 @@ def run_shard(
     up where its dead predecessor flushed.
 
     ``fault`` is the decoded :data:`FAULT_ENV` directive; after the
-    given number of records the worker kills itself or raises.
+    given number of records the worker kills itself or raises.  The
+    installed :class:`~repro.faults.FaultPlan` (if any) is consulted
+    after every record at the ``exper.shard.record`` injection point,
+    with ``shard``/``attempt`` context so plans can target specific
+    shards and first attempts only.
     """
     if header is None:
         header = RunHeader.for_spec(spec, topology)
@@ -301,6 +317,11 @@ def run_shard(
             countdown -= 1
             if countdown <= 0:
                 _trigger_fault(fault[0], shard)
+        fire(
+            "exper.shard.record",
+            shard=shard.shard_index,
+            attempt=attempt,
+        )
     if sink is not None:
         sink.finish(())
     return written
@@ -347,6 +368,7 @@ def _run_attached(
         eval_topology=eval_topology,
         workspace=workspace,
         fault=fault,
+        attempt=attempt,
     )
 
 
@@ -372,6 +394,10 @@ def _local_shard_main(
     watches the file grow).
     """
     kind, value = payload
+    # Fresh fault-plan hit counters per attempt: forked workers inherit
+    # the coordinator's installed plan, so re-parse it from the
+    # environment to start counting this attempt's hits from zero.
+    install_from_env()
     shm = None
     if kind == "shm":
         from multiprocessing import shared_memory
@@ -614,6 +640,13 @@ class ShardCoordinator:
     ``finished`` coordinates (from the runner's resume scan) are
     neither re-evaluated by workers nor re-yielded from pre-existing
     shard files — the runner replays them from its own sink.
+
+    Retry pacing is a :class:`~repro.faults.RetryPolicy` (``retry``;
+    default ``RetryPolicy(retries=retries)``, whose zero base delay
+    reproduces the historical immediate relaunch): a failed shard is
+    re-queued but not redispatched before its deterministic
+    backoff-with-jitter deadline, keyed on ``run_base`` and the shard
+    index so schedules are reproducible run to run.
     """
 
     def __init__(
@@ -627,6 +660,7 @@ class ShardCoordinator:
         transport=None,
         parallel: Optional[int] = None,
         retries: int = 2,
+        retry: Optional[RetryPolicy] = None,
         timeout: float = 120.0,
         poll_interval: float = 0.02,
         finished: frozenset = frozenset(),
@@ -647,7 +681,10 @@ class ShardCoordinator:
         self.parallel = parallel or min(
             len(self.plan), os.cpu_count() or 1
         )
-        self.retries = retries
+        self.retry = (
+            retry if retry is not None else RetryPolicy(retries=retries)
+        )
+        self.retries = self.retry.retries
         self.timeout = timeout
         self.poll_interval = poll_interval
         self.finished = finished
@@ -696,6 +733,7 @@ class ShardCoordinator:
         attempts = {shard.shard_index: 0 for shard in plan}
         started = {}
         pending: deque[int] = deque(range(len(plan)))
+        not_before: dict[int, float] = {}
         inflight: set[int] = set()
         completed: set[int] = set()
         tracer = trace.get_tracer()
@@ -704,21 +742,42 @@ class ShardCoordinator:
         def fail(index: int, reason: str) -> None:
             metrics.shards_failed.inc()
             attempts[index] += 1
-            if attempts[index] > self.retries:
+            if not self.retry.allows(attempts[index]):
                 raise ReproError(
                     f"shard {index} failed after {attempts[index]} "
                     f"attempts: {reason}"
                 )
             metrics.shards_retried.inc()
+            delay = self.retry.backoff(
+                attempts[index], token=f"{self.run_base}:{index}"
+            )
+            if delay > 0:
+                not_before[index] = time.monotonic() + delay
             tracer.instant(
-                "exper.shard_retried", shard=index, reason=reason
+                "exper.shard_retried",
+                shard=index,
+                reason=reason,
+                backoff=round(delay, 6),
             )
             pending.appendleft(index)
 
         while next_to_yield < len(plan):
             progressed = False
             while pending and len(inflight) < self.parallel:
-                index = pending.popleft()
+                now = time.monotonic()
+                position = next(
+                    (
+                        pos
+                        for pos, candidate in enumerate(pending)
+                        if not_before.get(candidate, 0.0) <= now
+                    ),
+                    None,
+                )
+                if position is None:
+                    break  # every queued shard is still backing off
+                index = pending[position]
+                del pending[position]
+                not_before.pop(index, None)
                 transport.start(
                     plan[index], paths[index], self.finished,
                     attempts[index], header,
@@ -788,5 +847,5 @@ class ShardCoordinator:
                     yield record
                 next_to_yield += 1
                 progressed = True
-            if not progressed and inflight:
+            if not progressed and (inflight or pending):
                 time.sleep(self.poll_interval)

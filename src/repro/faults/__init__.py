@@ -1,0 +1,39 @@
+"""``repro.faults`` — deterministic fault injection + retry policy.
+
+The robustness layer: a seeded :class:`FaultPlan` schedules faults
+(IO errors, connection resets, stalls, worker crashes) over named
+injection sites threaded through the serve and results tiers, and
+:class:`RetryPolicy` is the one retry/backoff-with-jitter object every
+retry loop shares.  Both are pure data and fully deterministic — the
+test suite pins that a sharded run under an aggressive fault plan is
+byte-identical to a fault-free serial run (architecture.md invariant
+7).  See ``docs/robustness.md``.
+"""
+
+from .plan import (
+    PLAN_ENV,
+    SITES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fire,
+    fire_async,
+    install,
+    install_from_env,
+    uninstall,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "PLAN_ENV",
+    "SITES",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "active_plan",
+    "fire",
+    "fire_async",
+    "install",
+    "install_from_env",
+    "uninstall",
+]

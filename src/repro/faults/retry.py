@@ -1,0 +1,78 @@
+"""One retry/backoff policy for every layer that retries anything.
+
+Before this module each retry loop hand-rolled its own counting (the
+shard coordinator's ``attempts[index] > retries``, immediate
+relaunch).  :class:`RetryPolicy` centralizes the policy — how many
+retry attempts a task gets, and how long to wait before each — with
+exponential backoff and *deterministic* jitter: instead of drawing
+from an RNG (which would either perturb reproducible runs or demand
+seed plumbing), the jitter fraction is hash-derived from a caller
+token and the attempt number.  Same token, same attempt → same delay,
+every run; different shards → decorrelated delays, which is all
+jitter is for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..netbase.errors import ReproError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often to retry a failed task, and how long to wait.
+
+    ``retries`` is the number of *retry* attempts after the first try
+    (``retries=2`` → at most three executions).  Delays grow as
+    ``base_delay * multiplier**(attempt-1)``, capped at ``max_delay``;
+    ``jitter`` adds up to that fraction of the delay again, derived
+    deterministically from ``(token, attempt)`` via BLAKE2b — no RNG,
+    no global state, byte-reproducible runs.  The default policy
+    (``base_delay=0``) retries immediately, matching the coordinator's
+    historical behavior.
+    """
+
+    retries: int = 2
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ReproError("retries must be non-negative")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("retry delays must be non-negative")
+        if self.multiplier < 1:
+            raise ReproError("retry multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ReproError("retry jitter must be in [0, 1]")
+
+    def allows(self, attempt: int) -> bool:
+        """May a failed task make retry ``attempt`` (1-based)?"""
+        return attempt <= self.retries
+
+    def backoff(self, attempt: int, token: str = "") -> float:
+        """Seconds to wait before retry ``attempt`` (1-based).
+
+        ``token`` decorrelates the jitter across callers (the shard
+        coordinator passes ``"<run_base>:<shard>"``); the same
+        ``(token, attempt)`` always yields the same delay.
+        """
+        if attempt < 1 or self.base_delay <= 0:
+            return 0.0
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if self.jitter:
+            digest = hashlib.blake2b(
+                f"{token}:{attempt}".encode("utf-8"), digest_size=8
+            ).digest()
+            unit = int.from_bytes(digest, "big") / 2**64
+            delay += delay * self.jitter * unit
+        return min(delay, self.max_delay)

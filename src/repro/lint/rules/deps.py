@@ -9,7 +9,7 @@
   (low to high)::
 
       obs                                   (leaf: imports no repro)
-      netbase / asn1 / crypto
+      netbase / asn1 / crypto / faults
       rpki / bgp / data / rtr
       exper / results
       serve
@@ -39,7 +39,7 @@ __all__ = ["ImportEdge", "LayeringRule", "StdlibOnlyRule", "module_edges"]
 
 _LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("obs",),
-    ("netbase", "asn1", "crypto"),
+    ("netbase", "asn1", "crypto", "faults"),
     ("rpki", "bgp", "data", "rtr"),
     ("exper", "results"),
     ("serve",),
@@ -179,7 +179,8 @@ class LayeringRule(Rule):
 
     rule_id = "DEP002"
     summary = (
-        "import layering: netbase/asn1/crypto -> rpki/bgp/data/rtr -> "
+        "import layering: netbase/asn1/crypto/faults -> "
+        "rpki/bgp/data/rtr -> "
         "exper/results -> serve -> core/analysis/lint -> cli, with "
         "repro.obs a leaf importable by all; no module-level import "
         "cycles"

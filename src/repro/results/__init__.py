@@ -49,6 +49,7 @@ from .sinks import (
     MemorySink,
     ResultSink,
     RunHeader,
+    SinkWriteError,
     TeeSink,
     check_header_compatible,
     read_run,
@@ -67,6 +68,7 @@ __all__ = [
     "RunHeader",
     "RunRegistry",
     "ServePublisher",
+    "SinkWriteError",
     "TeeSink",
     "check_header_compatible",
     "merge_runs",

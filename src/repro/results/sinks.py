@@ -46,6 +46,7 @@ from typing import (
     Union,
 )
 
+from ..faults import fire
 from ..netbase.errors import ReproError
 from ..obs.metrics import MetricsRegistry, get_registry
 
@@ -60,6 +61,7 @@ __all__ = [
     "MemorySink",
     "ResultSink",
     "RunHeader",
+    "SinkWriteError",
     "TeeSink",
     "check_header_compatible",
     "read_run",
@@ -71,6 +73,25 @@ __all__ = [
 HEADER_SCHEMA = 1
 
 _HEADER_KIND = "repro.results/run"
+
+
+class SinkWriteError(ReproError):
+    """A durable sink write failed and the sink degraded fail-safe.
+
+    Raised by :meth:`JsonlSink.write` when the underlying IO fails —
+    a real ``OSError`` (disk full, pulled mount) or an injected fault
+    at the ``results.sink.write`` injection point.  By the time it
+    propagates the sink is marked ``dirty`` and its file handle is
+    released: what is on disk is the previously flushed prefix (at
+    worst plus one partial tail line, exactly what resume truncates),
+    so the run stays resumable.  ``path`` and ``errno`` identify the
+    failure for callers that triage by cause.
+    """
+
+    def __init__(self, path: Union[str, Path], cause: OSError) -> None:
+        self.path = Path(path)
+        self.errno = getattr(cause, "errno", None)
+        super().__init__(f"sink write to {self.path} failed: {cause}")
 
 
 def topology_digest(topology) -> str:
@@ -307,6 +328,12 @@ class JsonlSink(ResultSink):
     ``JsonlSink(path)`` is both "start a run" and "continue one".
     Every ``write`` is flushed to the OS; pass ``fsync=True`` to also
     force each line to stable storage (slower, stronger).
+
+    IO failures degrade fail-safe: a write that raises ``OSError``
+    (or an injected ``results.sink.write`` fault) marks the sink
+    ``dirty``, releases the file handle, and raises a typed
+    :class:`SinkWriteError` — never corrupting the flushed prefix, so
+    a fresh sink on the same path resumes the run.
     """
 
     def __init__(
@@ -318,6 +345,9 @@ class JsonlSink(ResultSink):
     ) -> None:
         self.path = Path(path)
         self.fsync = fsync
+        #: True once a write has failed; the sink refuses further use
+        #: and the run must be resumed through a fresh sink.
+        self.dirty = False
         self._fh = None
         self._header: Optional[RunHeader] = None
         self._scanned: Optional[
@@ -355,6 +385,11 @@ class JsonlSink(ResultSink):
     # -- the sink protocol ---------------------------------------------
 
     def begin(self, header: RunHeader) -> None:
+        if self.dirty:
+            raise ReproError(
+                f"sink {self.path} is dirty after a failed write; "
+                f"resume the run through a fresh sink"
+            )
         if self._fh is not None:
             if self._header is not None:
                 check_header_compatible(
@@ -381,21 +416,50 @@ class JsonlSink(ResultSink):
         self._scanned = None  # the file is live now; scans would lie
 
     def write(self, record: "TrialRecord") -> None:
+        if self.dirty:
+            raise ReproError(
+                f"sink {self.path} is dirty after a failed write; "
+                f"resume the run through a fresh sink"
+            )
         if self._fh is None:
             raise ReproError(
                 f"sink {self.path} received a record before begin()"
             )
         line = _encode_line(record.to_json_dict())
         if not self._metrics_enabled:
-            self._fh.write(line)
-            self._flush()
+            self._write_line(line)
             return
         start = time.perf_counter()
-        self._fh.write(line)
-        self._flush()
+        self._write_line(line)
         self._flush_latency.observe(time.perf_counter() - start)
         self._records_written.inc()
         self._bytes_written.inc(len(line))
+
+    def _write_line(self, line: bytes) -> None:
+        try:
+            fire("results.sink.write", path=str(self.path))
+            self._fh.write(line)
+            self._flush()
+        except OSError as exc:
+            self._degrade()
+            raise SinkWriteError(self.path, exc) from exc
+
+    def _degrade(self) -> None:
+        """Fail-safe after an IO error: mark dirty, release the handle.
+
+        Closing is best-effort — the close itself may fail on a sick
+        filesystem.  The flushed prefix on disk stays valid JSONL (at
+        worst one partial tail line, which resume truncates), so the
+        run remains resumable through a fresh sink.
+        """
+        self.dirty = True
+        fh, self._fh = self._fh, None
+        self._scanned = None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:
+                pass
 
     def finish(self, trial_counts: Sequence[int]) -> None:
         if self._fh is not None:

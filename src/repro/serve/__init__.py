@@ -69,7 +69,7 @@ Or from the command line::
 """
 
 from .frames import FrameCache
-from .http import HttpRequestError, QueryHttpServer
+from .http import HttpRequestError, HttpServerBase, QueryHttpServer
 from .metrics import LatencyHistogram, ServeMetrics
 from .query import QueryService, ValidityResult
 from .rtr_async import AsyncRtrClient, AsyncRtrServer, ThreadedRtrServer
@@ -84,6 +84,7 @@ __all__ = [
     "AsyncRtrServer",
     "FrameCache",
     "HttpRequestError",
+    "HttpServerBase",
     "HttpShardTransport",
     "LatencyHistogram",
     "QueryHttpServer",

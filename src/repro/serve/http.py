@@ -18,17 +18,28 @@ Endpoints:
   attached :class:`~repro.results.live.RunRegistry` (summaries).
 * ``GET /experiments/<run>`` — one run's streaming per-cell stats,
   updated record by record while the run executes.
+* ``GET /healthz`` / ``GET /readyz`` — liveness and readiness (both
+  flip to 503 while the server drains; see :class:`HttpServerBase`).
 
 Malformed input gets a 400 with a JSON error body; unknown paths 404.
+
+:class:`HttpServerBase` carries the production hardening every HTTP
+front end in the serve tier shares — connection caps with 503 load
+shedding, keep-alive idle timeouts, graceful drain, the health
+endpoints — so :class:`QueryHttpServer` here and the shard worker
+server in :mod:`repro.serve.shards` subclass it and implement only
+``_route``.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from ..faults import fire_async
 from ..netbase import Prefix
 from ..netbase.errors import ReproError
 from .metrics import ServeMetrics, ensure_metrics
@@ -39,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "HttpRequestError",
+    "HttpServerBase",
     "QueryHttpServer",
     "TextPayload",
     "read_http_request",
@@ -136,7 +148,8 @@ async def write_http_response(
     under its own content type).
     """
     reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-              405: "Method Not Allowed"}.get(status, "OK")
+              405: "Method Not Allowed",
+              503: "Service Unavailable"}.get(status, "OK")
     if isinstance(payload, TextPayload):
         content_type = payload.content_type
         body = payload.text.encode("utf-8")
@@ -154,46 +167,89 @@ async def write_http_response(
     await writer.drain()
 
 
-class QueryHttpServer:
-    """Serve origin-validation queries — and live experiment results —
-    over HTTP/JSON.
+class HttpServerBase:
+    """The hardened asyncio HTTP server every serve-tier front end
+    shares; subclasses implement ``_route`` only.
 
-    ``runs`` is the :class:`~repro.results.live.RunRegistry` behind
-    the ``/experiments`` endpoints; omit it and the server answers
-    them from a fresh, empty registry (publish into ``server.runs``
-    to make runs appear).
+    What the base owns:
+
+    * **Connection cap + load shedding** — with ``max_clients`` set, a
+      connection beyond the cap gets an immediate 503 and close
+      (counted as ``requests_shed``) instead of growing server state.
+    * **Keep-alive idle timeout** — with ``idle_timeout`` set, a
+      keep-alive connection that sends nothing for that long is
+      reaped, so idle peers can't pin file descriptors forever.
+    * **Graceful drain** — :meth:`drain` flips the server to draining
+      (health endpoints answer 503, other requests are shed, new
+      keep-alives are refused), waits for in-flight requests to
+      finish, and records the elapsed time in the ``drain_seconds``
+      gauge.  The listener deliberately stays open so load balancers
+      observe the flip; call :meth:`close` afterwards.
+    * **Health endpoints** — ``GET /healthz`` (liveness: 200 until
+      draining) and ``GET /readyz`` (readiness: also 503 while at the
+      connection cap).
+    * The fault-injection sites ``serve.http.accept`` and
+      ``serve.http.request`` (see :mod:`repro.faults`).
     """
 
     def __init__(
         self,
-        service: QueryService,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
         metrics: Optional[ServeMetrics] = None,
-        runs: Optional["RunRegistry"] = None,
+        max_clients: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        drain_timeout: Optional[float] = None,
     ) -> None:
-        self.service = service
-        self.metrics = ensure_metrics(
-            metrics if metrics is not None else service.metrics)
-        if runs is None:
-            # Imported lazily: the registry rides on repro.results /
-            # repro.exper, which pure query serving should not load.
-            from ..results.live import RunRegistry
-
-            runs = RunRegistry()
-        self.runs = runs
+        if max_clients is not None and max_clients < 1:
+            raise ReproError("max_clients must be positive")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ReproError("idle_timeout must be positive")
+        if drain_timeout is not None and drain_timeout <= 0:
+            raise ReproError("drain_timeout must be positive")
+        self.metrics = ensure_metrics(metrics)
+        self.max_clients = max_clients
+        self.idle_timeout = idle_timeout
+        self.drain_timeout = drain_timeout
         self._requested = (host, port)
         self.host = host
         self.port = port
         self._server: Optional[asyncio.base_events.Server] = None
         self._writers: Set[asyncio.StreamWriter] = set()
+        self._active_requests = 0
+        self._draining = False
 
-    async def start(self) -> "QueryHttpServer":
+    @property
+    def draining(self) -> bool:
+        """Is the server refusing new work pending :meth:`close`?"""
+        return self._draining
+
+    async def start(self) -> "HttpServerBase":
         self._server = await asyncio.start_server(
             self._handle_connection, *self._requested)
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
         return self
+
+    async def drain(self, timeout: Optional[float] = None) -> float:
+        """Quiesce: shed new work, wait out in-flight requests.
+
+        Returns the seconds it took (bounded by ``timeout``, default
+        the constructor's ``drain_timeout``) and records it in the
+        ``drain_seconds`` gauge.  The listener stays open — health
+        probes must observe the 503 flip — so follow with ``close()``.
+        """
+        if timeout is None:
+            timeout = self.drain_timeout
+        self._draining = True
+        start = time.monotonic()
+        while self._active_requests > 0:
+            if timeout is not None and time.monotonic() - start >= timeout:
+                break
+            await asyncio.sleep(0.005)
+        elapsed = time.monotonic() - start
+        self.metrics.drain_seconds.set(elapsed)
+        return elapsed
 
     async def close(self) -> None:
         # Force idle keep-alive connections closed BEFORE awaiting
@@ -208,7 +264,7 @@ class QueryHttpServer:
             await self._server.wait_closed()
             self._server = None
 
-    async def __aenter__(self) -> "QueryHttpServer":
+    async def __aenter__(self) -> "HttpServerBase":
         return await self.start()
 
     async def __aexit__(self, *exc_info: object) -> None:
@@ -221,11 +277,31 @@ class QueryHttpServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if (
+            self.max_clients is not None
+            and len(self._writers) >= self.max_clients
+        ):
+            self.metrics.increment("requests_shed")
+            try:
+                await write_http_response(
+                    writer, 503,
+                    {"error": "server at connection capacity"}, False)
+            except OSError:
+                pass
+            writer.close()
+            return
         self._writers.add(writer)
         try:
+            await fire_async("serve.http.accept")
             while True:
                 try:
-                    request = await read_http_request(reader)
+                    if self.idle_timeout is not None:
+                        request = await asyncio.wait_for(
+                            read_http_request(reader), self.idle_timeout)
+                    else:
+                        request = await read_http_request(reader)
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection reaped
                 except HttpRequestError as exc:
                     self.metrics.increment("http_errors")
                     await write_http_response(
@@ -242,20 +318,101 @@ class QueryHttpServer:
                     keep_alive = connection == "keep-alive"
                 else:
                     keep_alive = connection != "close"
+                if self._draining:
+                    keep_alive = False
                 try:
-                    status, payload = await self._route(method, path, body)
+                    status, payload = await self._respond(
+                        method, path, body)
                 except HttpRequestError as exc:
                     self.metrics.increment("http_errors")
                     status, payload = 400, {"error": str(exc)}
                 await write_http_response(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
-        except (ConnectionError, asyncio.IncompleteReadError,
+        except (OSError, asyncio.IncompleteReadError,
                 asyncio.LimitOverrunError):
+            # ConnectionError and injected IO faults alike end this
+            # connection, never the server.
             pass
         finally:
             self._writers.discard(writer)
             writer.close()
+
+    async def _respond(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, object]:
+        """Health checks, drain shedding, then the subclass router."""
+        bare = path.split("?", 1)[0]
+        if bare in ("/healthz", "/readyz"):
+            return self._health(method, bare)
+        if self._draining:
+            self.metrics.increment("requests_shed")
+            return 503, {"error": "server is draining"}
+        await fire_async("serve.http.request", path=bare)
+        self._active_requests += 1
+        try:
+            return await self._route(method, path, body)
+        finally:
+            self._active_requests -= 1
+
+    def _health(self, method: str, path: str) -> Tuple[int, object]:
+        if method != "GET":
+            return 405, {"error": f"{method} not allowed on {path}"}
+        if self._draining:
+            return 503, {"status": "draining"}
+        if path == "/readyz" and (
+            self.max_clients is not None
+            and len(self._writers) >= self.max_clients
+        ):
+            return 503, {"status": "saturated"}
+        return 200, {"status": "ok" if path == "/healthz" else "ready"}
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, object]:
+        raise NotImplementedError  # pragma: no cover — subclass duty
+
+
+class QueryHttpServer(HttpServerBase):
+    """Serve origin-validation queries — and live experiment results —
+    over HTTP/JSON.
+
+    ``runs`` is the :class:`~repro.results.live.RunRegistry` behind
+    the ``/experiments`` endpoints; omit it and the server answers
+    them from a fresh, empty registry (publish into ``server.runs``
+    to make runs appear).  Hardening knobs (``max_clients``,
+    ``idle_timeout``, ``drain_timeout``) come from
+    :class:`HttpServerBase`.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[ServeMetrics] = None,
+        runs: Optional["RunRegistry"] = None,
+        max_clients: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        drain_timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            metrics=metrics if metrics is not None else service.metrics,
+            max_clients=max_clients,
+            idle_timeout=idle_timeout,
+            drain_timeout=drain_timeout,
+        )
+        self.service = service
+        if runs is None:
+            # Imported lazily: the registry rides on repro.results /
+            # repro.exper, which pure query serving should not load.
+            from ..results.live import RunRegistry
+
+            runs = RunRegistry()
+        self.runs = runs
 
     # ------------------------------------------------------------------
     # Routing

@@ -48,6 +48,13 @@ class ServeMetrics:
     * ``experiment_requests`` — ``/experiments`` endpoint hits.
     * ``records_published`` — trial records streamed into the live
       run registry by :class:`~repro.results.live.ServePublisher`.
+    * ``requests_shed`` — connections/requests refused under load
+      caps or during drain (503s and immediate closes).
+    * ``clients_evicted`` — slow RTR consumers disconnected after
+      missing their per-client write deadline.
+
+    ``drain_seconds`` is a gauge: how long the last graceful drain
+    took to quiesce in-flight requests.
     """
 
     _COUNTERS = (
@@ -67,6 +74,8 @@ class ServeMetrics:
         "http_errors",
         "experiment_requests",
         "records_published",
+        "requests_shed",
+        "clients_evicted",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -78,6 +87,7 @@ class ServeMetrics:
             name: self._view.counter(name) for name in self._COUNTERS
         }
         self.query_latency = self._view.histogram("query_latency")
+        self.drain_seconds = self._view.gauge("drain_seconds")
 
     def _counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
@@ -113,6 +123,7 @@ class ServeMetrics:
         }
         view["connections_active"] = self.connections_active
         view["query_latency"] = self.query_latency.snapshot()
+        view["drain_seconds"] = self.drain_seconds.value
         return view
 
     def render_prometheus(self) -> str:

@@ -35,6 +35,7 @@ import asyncio
 import threading
 from typing import Iterable, Optional, Set
 
+from ..faults import fire_async
 from ..netbase.errors import ReproError
 from ..rpki.vrp import Vrp
 from ..rtr.pdu import (
@@ -71,6 +72,13 @@ class AsyncRtrServer:
     as data refreshes, ``await close()``.  All methods must run on the
     loop that called :meth:`start` (use :class:`ThreadedRtrServer`
     from synchronous code).
+
+    Production hardening knobs: ``max_clients`` caps concurrent
+    sessions (excess connections are closed on accept and counted as
+    ``requests_shed``); ``client_deadline`` bounds every post-write
+    ``drain()`` — a consumer that cannot absorb a frame within the
+    deadline is disconnected (``clients_evicted``) instead of pinning
+    an unbounded write buffer in server memory.
     """
 
     def __init__(
@@ -82,7 +90,15 @@ class AsyncRtrServer:
         session_id: int = 1,
         history_limit: int = 16,
         metrics: Optional[ServeMetrics] = None,
+        max_clients: Optional[int] = None,
+        client_deadline: Optional[float] = None,
     ) -> None:
+        if max_clients is not None and max_clients < 1:
+            raise ReproError("max_clients must be positive")
+        if client_deadline is not None and client_deadline <= 0:
+            raise ReproError("client_deadline must be positive")
+        self.max_clients = max_clients
+        self.client_deadline = client_deadline
         self.state = CacheState(session_id, history_limit=history_limit)
         self.metrics = ensure_metrics(metrics)
         self.frames = FrameCache(self.state, metrics=self.metrics)
@@ -155,10 +171,20 @@ class AsyncRtrServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if (
+            self.max_clients is not None
+            and len(self._writers) >= self.max_clients
+        ):
+            # Shed at accept: a full house must not grow its memory
+            # footprint per extra router; the router retries later.
+            self.metrics.increment("requests_shed")
+            writer.close()
+            return
         self._writers.add(writer)
         self.metrics.increment("connections_opened")
         buffer = b""
         try:
+            await fire_async("serve.rtr.accept")
             while True:
                 chunk = await reader.read(_RECV_CHUNK)
                 if not chunk:
@@ -172,7 +198,9 @@ class AsyncRtrServer:
                     break
                 for pdu in pdus:
                     await self._dispatch(writer, pdu)
-        except (ConnectionError, asyncio.CancelledError):
+        except (OSError, asyncio.CancelledError):
+            # ConnectionError and injected IO faults alike end the
+            # session, never the server.
             pass
         finally:
             self._writers.discard(writer)
@@ -205,14 +233,27 @@ class AsyncRtrServer:
     async def _send(
         self, writer: asyncio.StreamWriter, frame: bytes, pdu_count: int
     ) -> None:
-        """One frame, one write, then drain: per-client backpressure."""
+        """One frame, one write, then drain: per-client backpressure.
+
+        With ``client_deadline`` set the drain is bounded: a consumer
+        that cannot take the frame in time is evicted (its connection
+        closed, the handler unwinding via the read side) so slow
+        routers bound, rather than grow, server memory.
+        """
         if writer.is_closing():
             return
+        await fire_async("serve.rtr.send")
         writer.write(frame)
         self.metrics.increment("bytes_sent", len(frame))
         self.metrics.increment("pdus_sent", pdu_count)
         try:
-            await writer.drain()
+            if self.client_deadline is not None:
+                await asyncio.wait_for(writer.drain(), self.client_deadline)
+            else:
+                await writer.drain()
+        except asyncio.TimeoutError:
+            self.metrics.increment("clients_evicted")
+            writer.close()
         except ConnectionError:
             pass
 
@@ -236,6 +277,8 @@ class ThreadedRtrServer:
         session_id: int = 1,
         history_limit: int = 16,
         metrics: Optional[ServeMetrics] = None,
+        max_clients: Optional[int] = None,
+        client_deadline: Optional[float] = None,
     ) -> None:
         self._async = AsyncRtrServer(
             initial,
@@ -244,6 +287,8 @@ class ThreadedRtrServer:
             session_id=session_id,
             history_limit=history_limit,
             metrics=metrics,
+            max_clients=max_clients,
+            client_deadline=client_deadline,
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -304,6 +349,13 @@ class ThreadedRtrServer:
         self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=5)
+            if self._thread.is_alive():
+                # Closing the loop under a still-running thread would
+                # corrupt it; surface the wedge instead of pretending
+                # the server stopped.
+                raise ReproError(
+                    "rtr-async-loop thread did not stop within 5s"
+                )
         self._loop.close()
         self._loop = None
         self._thread = None

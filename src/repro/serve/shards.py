@@ -31,8 +31,11 @@ implementation of that contract:
   byte-identity work exactly as in the local-process case.
 
 Workers honor the same :data:`~repro.exper.sharded.FAULT_ENV` fault
-directives as local workers (in the *server's* environment), which is
-how the fault-injection tests exercise this path.
+directives as local workers (in the *server's* environment), and
+install any :data:`~repro.faults.PLAN_ENV` fault plan at start — both
+are how the fault-injection tests exercise this path.  Hardening
+(connection caps, drain, ``/healthz``) comes from
+:class:`~repro.serve.http.HttpServerBase`.
 """
 
 from __future__ import annotations
@@ -46,19 +49,15 @@ import urllib.error
 import urllib.request
 from pathlib import Path
 from tempfile import mkdtemp
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exper.sharded import FAULT_ENV, Shard, _parse_fault, run_shard
 from ..exper.spec import ExperimentSpec
+from ..faults import fire, install_from_env
 from ..netbase.errors import ReproError
 from ..results.sinks import JsonlSink, RunHeader, topology_digest
-from .http import (
-    HttpRequestError,
-    TextPayload,
-    read_http_request,
-    write_http_response,
-)
-from .metrics import ServeMetrics, ensure_metrics
+from .http import HttpRequestError, HttpServerBase, TextPayload
+from .metrics import ServeMetrics
 
 __all__ = [
     "HttpShardTransport",
@@ -105,7 +104,7 @@ class _WorkerJob:
         }
 
 
-class ShardWorkerServer:
+class ShardWorkerServer(HttpServerBase):
     """Execute dispatched experiment shards over HTTP.
 
     One server holds one topology (the heavyweight thing worth
@@ -114,6 +113,8 @@ class ShardWorkerServer:
     over that topology.  Shard evaluation runs in the default thread
     executor — the event loop stays free for status polls, which is
     what makes the coordinator's heartbeat monitoring work.
+    Connection handling, load shedding, drain, and the health
+    endpoints come from :class:`~repro.serve.http.HttpServerBase`.
     """
 
     def __init__(
@@ -124,26 +125,32 @@ class ShardWorkerServer:
         port: int = 0,
         workdir: Optional[str] = None,
         metrics: Optional[ServeMetrics] = None,
+        max_clients: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        drain_timeout: Optional[float] = None,
     ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            metrics=metrics,
+            max_clients=max_clients,
+            idle_timeout=idle_timeout,
+            drain_timeout=drain_timeout,
+        )
         self.topology = topology
         self.topology_hash = topology_digest(topology)
-        self.metrics = ensure_metrics(metrics)
-        self._requested = (host, port)
-        self.host = host
-        self.port = port
         self._workdir = Path(workdir) if workdir is not None else None
         self._own_workdir: Optional[Path] = None
         self._jobs: Dict[int, _WorkerJob] = {}
-        self._server: Optional[asyncio.base_events.Server] = None
-        self._writers: Set[asyncio.StreamWriter] = set()
 
     async def start(self) -> "ShardWorkerServer":
         if self._workdir is None:
             self._own_workdir = Path(mkdtemp(prefix="repro-shard-worker-"))
             self._workdir = self._own_workdir
-        self._server = await asyncio.start_server(
-            self._handle_connection, *self._requested)
-        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        # A worker launched under a fault plan honors it: fresh parse,
+        # fresh hit counters, deterministic per process.
+        install_from_env()
+        await super().start()
         return self
 
     async def close(self) -> None:
@@ -153,68 +160,28 @@ class ShardWorkerServer:
             job.future for job in self._jobs.values()
             if job.future is not None and not job.future.done()
         ]
+        stuck: set = set()
         if futures:
-            await asyncio.wait(futures, timeout=5)
-        if self._server is not None:
-            self._server.close()
-        for writer in list(self._writers):
-            writer.close()
-        self._writers.clear()
-        if self._server is not None:
-            await self._server.wait_closed()
-            self._server = None
+            _, pending = await asyncio.wait(futures, timeout=5)
+            if pending:
+                # Jobs that ignored the cancelled flag: cancel their
+                # futures outright and wait again — close() must not
+                # leak still-running shard evaluations.
+                for future in pending:
+                    future.cancel()
+                _, stuck = await asyncio.wait(pending, timeout=5)
+        await super().close()
         if self._own_workdir is not None:
             import shutil
 
             await asyncio.get_running_loop().run_in_executor(
                 None, shutil.rmtree, self._own_workdir, True)
             self._own_workdir = None
-
-    async def __aenter__(self) -> "ShardWorkerServer":
-        return await self.start()
-
-    async def __aexit__(self, *exc_info: object) -> None:
-        await self.close()
-
-    # ------------------------------------------------------------------
-    # Connection handling
-    # ------------------------------------------------------------------
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self._writers.add(writer)
-        try:
-            while True:
-                try:
-                    request = await read_http_request(reader)
-                except HttpRequestError as exc:
-                    await write_http_response(
-                        writer, 400, {"error": str(exc)}, False)
-                    break
-                if request is None:
-                    break
-                method, path, version, headers, body = request
-                self.metrics.increment("http_requests")
-                connection = headers.get("connection", "").lower()
-                if version == "HTTP/1.0":
-                    keep_alive = connection == "keep-alive"
-                else:
-                    keep_alive = connection != "close"
-                try:
-                    status, payload = await self._route(method, path, body)
-                except HttpRequestError as exc:
-                    self.metrics.increment("http_errors")
-                    status, payload = 400, {"error": str(exc)}
-                await write_http_response(writer, status, payload, keep_alive)
-                if not keep_alive:
-                    break
-        except (ConnectionError, asyncio.IncompleteReadError,
-                asyncio.LimitOverrunError):
-            pass
-        finally:
-            self._writers.discard(writer)
-            writer.close()
+        if stuck:
+            raise ReproError(
+                f"{len(stuck)} shard job(s) still running after close "
+                f"cancelled them"
+            )
 
     # ------------------------------------------------------------------
     # Routing
@@ -304,6 +271,11 @@ class ShardWorkerServer:
             spec = header.experiment_spec()
         except ReproError as exc:
             raise HttpRequestError(f"bad spec in header: {exc}")
+        fire(
+            "serve.shards.dispatch",
+            shard=shard.shard_index,
+            attempt=attempt,
+        )
         existing = self._jobs.get(shard.shard_index)
         if existing is not None and existing.state == "running":
             # A superseded attempt (the coordinator timed it out and
@@ -335,6 +307,11 @@ class ShardWorkerServer:
     ) -> None:
         sink = JsonlSink(job.path)
         try:
+            fire(
+                "serve.shards.execute",
+                shard=job.shard.shard_index,
+                attempt=job.attempt,
+            )
             fault = _parse_fault(
                 os.environ.get(FAULT_ENV),
                 job.shard.shard_index,
@@ -359,6 +336,7 @@ class ShardWorkerServer:
                 header=header,
                 on_record=on_record,
                 fault=fault,
+                attempt=job.attempt,
             )
         except BaseException as exc:
             job.reason = f"{type(exc).__name__}: {exc}"
@@ -451,6 +429,13 @@ class ThreadedShardWorkerServer:
         self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=5)
+            if self._thread.is_alive():
+                # Closing the loop under a still-running thread would
+                # corrupt it; surface the wedge instead of pretending
+                # the worker stopped.
+                raise ReproError(
+                    "shard-worker-loop thread did not stop within 5s"
+                )
         self._loop.close()
         self._loop = None
         self._thread = None

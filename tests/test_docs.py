@@ -34,6 +34,7 @@ EXPERIMENTS_DOC = DOCS / "experiments.md"
 RESULTS_DOC = DOCS / "results.md"
 OBSERVABILITY_DOC = DOCS / "observability.md"
 LINTING_DOC = DOCS / "linting.md"
+ROBUSTNESS_DOC = DOCS / "robustness.md"
 
 _FENCE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -244,11 +245,49 @@ class TestLintingDocExamples:
             )
 
 
+class TestRobustnessDocExamples:
+    """docs/robustness.md commands run in order in one working
+    directory: the chaos drills must exit 0 (the byte-equivalence
+    they demonstrate is pinned by tests/test_faults.py and CI)."""
+
+    def test_doc_has_commands_at_all(self):
+        assert _doc_commands(ROBUSTNESS_DOC), (
+            "robustness.md lost its repro-roa commands"
+        )
+
+    def test_commands_run_in_sequence(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (str(REPO / "src"), env.get("PYTHONPATH"))
+            if part
+        )
+        for command, _ in _doc_commands(ROBUSTNESS_DOC):
+            argv = shlex.split(command)
+            assert argv[0] == "repro-roa"
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.cli", *argv[1:]],
+                cwd=tmp_path,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert completed.returncode == 0, (
+                f"{command!r} exited {completed.returncode}:\n"
+                f"{completed.stderr}"
+            )
+            if "--emit-plan" in argv:
+                plan = json.loads(completed.stdout)
+                assert plan["rules"], "emitted fault plan has no rules"
+
+
 class TestDocsTree:
     def test_pages_exist(self):
         for name in (
             "architecture.md", "experiments.md", "serving.md",
             "results.md", "observability.md", "linting.md",
+            "robustness.md",
         ):
             assert (DOCS / name).is_file(), f"docs/{name} missing"
         assert (REPO / "README.md").is_file()

@@ -18,6 +18,7 @@ The contracts pinned here:
 from __future__ import annotations
 
 import asyncio
+import errno
 import json
 import random
 import statistics
@@ -42,6 +43,7 @@ from repro.results import (
     ResultsStore,
     RunHeader,
     RunRegistry,
+    SinkWriteError,
     TeeSink,
     merge_runs,
     read_run,
@@ -270,6 +272,88 @@ class TestJsonlDurability:
             sink.begin(RunHeader.for_spec(other))
         with pytest.raises(ReproError, match="spec hash"):
             JsonlSink(path).resume_scan(other)
+
+
+class ExplodingFile:
+    """A file proxy that tears one write in half, then raises EIO."""
+
+    def __init__(self, fh, fail_on: int) -> None:
+        self._fh = fh
+        self._fail_on = fail_on
+        self._writes = 0
+
+    def write(self, data: bytes) -> int:
+        self._writes += 1
+        if self._writes == self._fail_on:
+            self._fh.write(data[: len(data) // 2])  # torn mid-line
+            self._fh.flush()
+            raise OSError(errno.EIO, "injected: device error")
+        return self._fh.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+class TestSinkWriteFailure:
+    """A failed write degrades fail-safe and never corrupts the prefix."""
+
+    def test_torn_write_degrades_then_resumes(self, topology, tmp_path):
+        spec = small_spec(trials=3, fractions=(None,))
+        clean = tmp_path / "clean.jsonl"
+        run_full(topology, spec, clean)
+        header, records = read_run(clean)
+
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        sink.begin(header)
+        sink._fh = ExplodingFile(sink._fh, fail_on=3)
+        with pytest.raises(SinkWriteError) as caught:
+            for record in records:
+                sink.write(record)
+        assert caught.value.errno == errno.EIO
+        assert caught.value.path == path
+        assert sink.dirty
+        with pytest.raises(ReproError, match="dirty"):
+            sink.write(records[0])
+
+        # The torn tail line is recovered; the prefix is intact.
+        got_header, got = read_run(path)
+        assert got_header == header
+        assert len(got) == 2
+        assert got == records[:2]
+
+        # A fresh sink resumes the run to byte-identical output
+        # (begin() truncates the torn tail before appending).
+        resumed = JsonlSink(path)
+        _, existing = resumed.resume_scan(spec)
+        resumed.begin(header)
+        for record in records[len(existing):]:
+            resumed.write(record)
+        resumed.finish(())
+        resumed.close()
+        assert path.read_bytes() == clean.read_bytes()
+
+    def test_close_failure_during_degrade_is_swallowed(
+        self, topology, tmp_path
+    ):
+        """A sick filesystem failing the close too still degrades."""
+        spec = small_spec(trials=2, fractions=(None,))
+        clean = tmp_path / "clean.jsonl"
+        run_full(topology, spec, clean)
+        header, records = read_run(clean)
+
+        class SickFile(ExplodingFile):
+            def close(self) -> None:
+                raise OSError(errno.EIO, "close failed too")
+
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        sink.begin(header)
+        sink._fh = SickFile(sink._fh, fail_on=1)
+        with pytest.raises(SinkWriteError):
+            sink.write(records[0])
+        assert sink.dirty
+        assert sink._fh is None
 
 
 # ----------------------------------------------------------------------

@@ -16,8 +16,10 @@ import pytest
 from repro.bgp import ValidationState
 from repro.core import LocalCache
 from repro.netbase import Prefix
+from repro.netbase.errors import ReproError
 from repro.rpki import Vrp
 from repro.rtr import RtrClient
+from repro.rtr.pdu import ResetQueryPdu, encode_pdu
 from repro.rtr.session import CacheState
 from repro.serve import (
     AsyncRtrClient,
@@ -715,5 +717,204 @@ class TestHttpServer:
             await read_response(reader)  # handler now idles in readuntil
             await asyncio.wait_for(http.close(), timeout=5)
             writer.close()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Production hardening: load shedding, health, drain, eviction
+# ----------------------------------------------------------------------
+
+
+class TestHttpHardening:
+    def test_bad_hardening_knobs_rejected(self):
+        service = QueryService(PAPER_ROAS)
+        for kwargs in ({"max_clients": 0}, {"idle_timeout": 0.0},
+                       {"drain_timeout": -1.0}):
+            with pytest.raises(ReproError):
+                QueryHttpServer(service, **kwargs)
+
+    def test_healthz_and_readyz(self):
+        async def scenario():
+            service = QueryService(PAPER_ROAS)
+            async with QueryHttpServer(service) as http:
+                status, document = await http_request(
+                    http.host, http.port,
+                    b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+                assert status == 200 and document["status"] == "ok"
+                status, document = await http_request(
+                    http.host, http.port,
+                    b"GET /readyz HTTP/1.1\r\nConnection: close\r\n\r\n")
+                assert status == 200 and document["status"] == "ready"
+                status, document = await http_request(
+                    http.host, http.port,
+                    b"POST /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+                assert status == 405
+
+        run(scenario())
+
+    def test_max_clients_sheds_extra_connection_with_503(self):
+        async def scenario():
+            service = QueryService(PAPER_ROAS)
+            async with QueryHttpServer(service, max_clients=1) as http:
+                # Client 1 occupies the only slot with a keep-alive
+                # request, so its handler idles with the writer live.
+                reader, writer = await asyncio.open_connection(
+                    http.host, http.port)
+                writer.write(b"GET /status HTTP/1.1\r\n\r\n")
+                status, _ = await read_response(reader)
+                assert status == 200
+                # Client 2 must get an immediate 503, not a hang.
+                status, document = await http_request(
+                    http.host, http.port,
+                    b"GET /status HTTP/1.1\r\nConnection: close\r\n\r\n")
+                assert status == 503
+                assert "capacity" in document["error"]
+                assert http.metrics["requests_shed"] == 1
+                writer.close()
+
+        run(scenario())
+
+    def test_readyz_saturated_at_connection_cap(self):
+        async def scenario():
+            service = QueryService(PAPER_ROAS)
+            async with QueryHttpServer(service, max_clients=1) as http:
+                # The probing connection itself fills the cap, so ask
+                # over the same keep-alive stream: liveness stays 200
+                # while readiness reports saturation.
+                reader, writer = await asyncio.open_connection(
+                    http.host, http.port)
+                writer.write(b"GET /healthz HTTP/1.1\r\n\r\n")
+                status, document = await read_response(reader)
+                assert status == 200 and document["status"] == "ok"
+                writer.write(b"GET /readyz HTTP/1.1\r\n"
+                             b"Connection: close\r\n\r\n")
+                status, document = await read_response(reader)
+                assert status == 503 and document["status"] == "saturated"
+                writer.close()
+
+        run(scenario())
+
+    def test_drain_flips_health_and_sheds_requests(self):
+        async def scenario():
+            service = QueryService(PAPER_ROAS)
+            async with QueryHttpServer(service, drain_timeout=5.0) as http:
+                status, document = await http_request(
+                    http.host, http.port,
+                    b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+                assert status == 200
+                elapsed = await http.drain()
+                assert http.draining
+                assert elapsed >= 0.0
+                # Listener stays open so probes observe the flip.
+                status, document = await http_request(
+                    http.host, http.port,
+                    b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+                assert status == 503 and document["status"] == "draining"
+                status, document = await http_request(
+                    http.host, http.port,
+                    b"GET /validity?asn=31283&prefix=87.254.32.0%2F20 "
+                    b"HTTP/1.1\r\nConnection: close\r\n\r\n")
+                assert status == 503
+                assert "draining" in document["error"]
+                snapshot = http.metrics.snapshot()
+                assert snapshot["requests_shed"] >= 1
+                assert snapshot["drain_seconds"] == pytest.approx(
+                    elapsed, abs=1e-6)
+
+        run(scenario())
+
+    def test_idle_timeout_reaps_keep_alive_connection(self):
+        async def scenario():
+            service = QueryService(PAPER_ROAS)
+            async with QueryHttpServer(service, idle_timeout=0.05) as http:
+                reader, writer = await asyncio.open_connection(
+                    http.host, http.port)
+                writer.write(b"GET /status HTTP/1.1\r\n\r\n")
+                status, _ = await read_response(reader)
+                assert status == 200
+                # Send nothing more: the server must hang up on us.
+                tail = await asyncio.wait_for(reader.read(), timeout=5)
+                assert tail == b""
+                writer.close()
+
+        run(scenario())
+
+    def test_prometheus_exposition_includes_hardening_series(self):
+        metrics = ServeMetrics()
+        metrics.increment("requests_shed", 3)
+        metrics.increment("clients_evicted", 2)
+        metrics.drain_seconds.set(0.25)
+        text = metrics.render_prometheus()
+        values = {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            series, value = line.rsplit(" ", 1)
+            values[series] = float(value)
+        assert values["serve_requests_shed"] == 3
+        assert values["serve_clients_evicted"] == 2
+        assert values["serve_drain_seconds"] == 0.25
+
+
+class TestRtrHardening:
+    def test_bad_hardening_knobs_rejected(self):
+        for kwargs in ({"max_clients": 0}, {"client_deadline": 0.0}):
+            with pytest.raises(ReproError):
+                AsyncRtrServer([V1], **kwargs)
+
+    def test_max_clients_closes_extra_router(self):
+        async def scenario():
+            metrics = ServeMetrics()
+            async with AsyncRtrServer(
+                [V1, V2], metrics=metrics, max_clients=1
+            ) as server:
+                first = AsyncRtrClient()
+                await first.connect(server.host, server.port)
+                await first.sync()
+                assert len(first.vrps) == 2
+                # RTR has no status line to send; the surplus router
+                # is simply closed before it costs any server state.
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                tail = await asyncio.wait_for(reader.read(), timeout=5)
+                assert tail == b""
+                writer.close()
+                assert metrics["requests_shed"] == 1
+                # The first session keeps working after the shed.
+                await first.sync()
+                await first.close()
+
+        run(scenario())
+
+    def test_slow_client_evicted_on_write_deadline(self):
+        # A consumer that floods Reset Queries and never reads makes
+        # the server's drain() block on a full socket; the deadline
+        # must evict it instead of letting buffers grow unboundedly.
+        table = [Vrp(p(f"10.{i >> 8 & 255}.{i & 255}.0/24"), 24, 64512 + i)
+                 for i in range(3000)]
+
+        async def scenario():
+            metrics = ServeMetrics()
+            async with AsyncRtrServer(
+                table, metrics=metrics, client_deadline=0.1
+            ) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                writer.write(encode_pdu(ResetQueryPdu()) * 128)
+                await writer.drain()
+                deadline = asyncio.get_running_loop().time() + 10
+                while metrics["clients_evicted"] < 1:
+                    assert asyncio.get_running_loop().time() < deadline, (
+                        "slow client was never evicted")
+                    await asyncio.sleep(0.02)
+                assert metrics["clients_evicted"] >= 1
+                writer.close()
+                # The server still answers a well-behaved router.
+                probe = AsyncRtrClient()
+                await probe.connect(server.host, server.port)
+                await probe.sync()
+                assert len(probe.vrps) == 3000
+                await probe.close()
 
         run(scenario())
