@@ -16,7 +16,10 @@ Subcommands mirror the paper's workflow:
 * ``rtr-serve`` — serve a VRP CSV to routers over RPKI-to-Router
   (legacy thread-per-connection server).
 * ``serve``     — the full serving tier: async high-fanout RTR
-  distribution plus the origin-validation HTTP/JSON query service.
+  distribution plus the origin-validation HTTP/JSON query service;
+  ``--jobs --jobs-store DIR`` upgrades it to the always-on experiment
+  platform (:mod:`repro.jobs`): ``POST /experiments`` enqueues jobs a
+  background scheduler executes durably.
 * ``experiment`` — run an attack-effectiveness experiment grid on the
   :mod:`repro.exper` engine, from flags or a JSON spec file; with
   ``--sink`` the run records durably (and ``--resume`` continues an
@@ -31,6 +34,12 @@ Subcommands mirror the paper's workflow:
   output is byte-identical to a fault-free serial run, or the HTTP
   tier under connection faults plus a graceful-drain health-flip
   check; ``--emit-plan`` prints the deterministic fault plan.
+* ``jobs``      — the experiment platform's client and offline drain
+  (:mod:`repro.jobs`): ``submit``/``list``/``show``/``cancel``/
+  ``diff`` against either a local ``--store`` directory or a running
+  ``serve --jobs`` instance via ``--server``, and ``run`` to drain a
+  store's pending jobs in the foreground (also the crash-recovery
+  path — interrupted jobs resume to byte-identical runs).
 
 Examples::
 
@@ -50,6 +59,9 @@ Examples::
     repro-roa results merge merged.jsonl shard0.jsonl shard1.jsonl
     repro-roa chaos --seed 7 --trials 12 --shards 3 --json
     repro-roa chaos --drill serve --seed 7
+    repro-roa jobs submit --store /tmp/jobs --trials 20
+    repro-roa jobs run --store /tmp/jobs
+    repro-roa jobs diff --store /tmp/jobs job-000001 job-000002
 """
 
 from __future__ import annotations
@@ -77,6 +89,72 @@ from .data.rpki_archive import read_vrp_csv, write_vrp_csv
 from .data.snapshots import SeriesConfig, generate_weekly_series
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """The experiment-grid flags `_experiment_spec_from_args` reads.
+
+    Shared by ``experiment`` and ``jobs submit`` so a spec submitted
+    to the platform is expressed exactly like a direct run.
+    """
+    parser.add_argument(
+        "--spec", help="JSON ExperimentSpec file (overrides grid flags)"
+    )
+    parser.add_argument(
+        "--kinds", default="forged-origin-subprefix,forged-origin",
+        help="comma-separated attack kinds (default: the §4/§5 pair)",
+    )
+    parser.add_argument(
+        "--policies", default="minimal,maxlength-loose",
+        help="comma-separated ROA policies: minimal, maxlength-loose, "
+             "maxlength-<N>, none, or <base>@<coverage>",
+    )
+    parser.add_argument("--attackers", type=int, default=1,
+                        help="simultaneous attackers per trial")
+    parser.add_argument("--prepend", type=int, default=0,
+                        help="AS-path prepend count on the attack")
+    parser.add_argument(
+        "--fractions", default="all",
+        help="comma-separated validating fractions in [0,1]; "
+             "'all' = universal validation (default)",
+    )
+    parser.add_argument("--trials", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--victim-prefix", default="168.122.0.0/16")
+    parser.add_argument("--attack-prefix",
+                        help="default: victim prefix + 8 bits")
+    parser.add_argument("--sampler", choices=("stubs", "any"),
+                        default="stubs")
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "process", "sharded", "auto"),
+        help="execution strategy: serial, process (multiprocessing "
+             "pool), sharded (crash-retried shard workers; see "
+             "--shards/--shard-hosts), or auto (serial on one core, "
+             "process otherwise); default: the spec's executor "
+             "(serial unless the spec file says otherwise)",
+    )
+    parser.add_argument(
+        "--engine", choices=("object", "array"),
+        help="propagation backend: object (default) or array (the "
+             "flat-array engine for CAIDA-scale topologies); "
+             "overrides the spec file's engine when given",
+    )
+    parser.add_argument(
+        "--stopping", choices=("none", "ci"),
+        help="adaptive early stopping: stop a fraction once every "
+             "cell's bootstrap CI is narrower than --stop-ci-width "
+             "(default none; overrides the spec file's setting)",
+    )
+    parser.add_argument("--stop-ci-width", type=float,
+                        help="CI-width threshold (default 0.05; "
+                             "implies --stopping ci)")
+    parser.add_argument("--stop-min-trials", type=int,
+                        help="trials before the first stopping check "
+                             "(default 16; implies --stopping ci)")
+    parser.add_argument("--stop-check-every", type=int,
+                        help="trials between stopping checks "
+                             "(default 8; implies --stopping ci)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -192,59 +270,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM, wait up to SECS for in-flight HTTP "
              "requests to finish before closing (default 10)",
     )
+    serve.add_argument(
+        "--jobs", action="store_true",
+        help="run the experiment platform: a durable job queue and "
+             "scheduler behind POST /experiments and the /jobs "
+             "endpoints (requires --jobs-store)",
+    )
+    serve.add_argument(
+        "--jobs-store", metavar="DIR",
+        help="platform directory (queue.jsonl + runs/) backing "
+             "--jobs; restarting with the same DIR resumes jobs a "
+             "crash left mid-flight",
+    )
 
     experiment = sub.add_parser(
         "experiment",
         help="run an attack-effectiveness grid on the repro.exper engine",
     )
-    experiment.add_argument(
-        "--spec", help="JSON ExperimentSpec file (overrides grid flags)"
-    )
-    experiment.add_argument(
-        "--kinds", default="forged-origin-subprefix,forged-origin",
-        help="comma-separated attack kinds (default: the §4/§5 pair)",
-    )
-    experiment.add_argument(
-        "--policies", default="minimal,maxlength-loose",
-        help="comma-separated ROA policies: minimal, maxlength-loose, "
-             "maxlength-<N>, none, or <base>@<coverage>",
-    )
-    experiment.add_argument("--attackers", type=int, default=1,
-                            help="simultaneous attackers per trial")
-    experiment.add_argument("--prepend", type=int, default=0,
-                            help="AS-path prepend count on the attack")
-    experiment.add_argument(
-        "--fractions", default="all",
-        help="comma-separated validating fractions in [0,1]; "
-             "'all' = universal validation (default)",
-    )
-    experiment.add_argument("--trials", type=int, default=20)
-    experiment.add_argument("--seed", type=int, default=0)
-    experiment.add_argument("--victim-prefix", default="168.122.0.0/16")
-    experiment.add_argument("--attack-prefix",
-                            help="default: victim prefix + 8 bits")
-    experiment.add_argument("--sampler", choices=("stubs", "any"),
-                            default="stubs")
+    _add_spec_arguments(experiment)
     experiment.add_argument("--topology",
                             help="CAIDA relationship file (else synthetic)")
     experiment.add_argument("--ases", type=int, default=400,
                             help="synthetic topology size")
     experiment.add_argument("--topology-seed", type=int, default=11)
-    experiment.add_argument(
-        "--executor",
-        choices=("serial", "process", "sharded", "auto"),
-        help="execution strategy: serial, process (multiprocessing "
-             "pool), sharded (crash-retried shard workers; see "
-             "--shards/--shard-hosts), or auto (serial on one core, "
-             "process otherwise); default: the spec's executor "
-             "(serial unless the spec file says otherwise)",
-    )
-    experiment.add_argument(
-        "--engine", choices=("object", "array"),
-        help="propagation backend: object (default) or array (the "
-             "flat-array engine for CAIDA-scale topologies); "
-             "overrides the spec file's engine when given",
-    )
     experiment.add_argument("--workers", type=int,
                             help="process-executor pool size (also the "
                                  "sharded executor's in-flight window)")
@@ -275,21 +323,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded executor: reassign a shard after SECS without "
              "progress (default 120)",
     )
-    experiment.add_argument(
-        "--stopping", choices=("none", "ci"),
-        help="adaptive early stopping: stop a fraction once every "
-             "cell's bootstrap CI is narrower than --stop-ci-width "
-             "(default none; overrides the spec file's setting)",
-    )
-    experiment.add_argument("--stop-ci-width", type=float,
-                            help="CI-width threshold (default 0.05; "
-                                 "implies --stopping ci)")
-    experiment.add_argument("--stop-min-trials", type=int,
-                            help="trials before the first stopping check "
-                                 "(default 16; implies --stopping ci)")
-    experiment.add_argument("--stop-check-every", type=int,
-                            help="trials between stopping checks "
-                                 "(default 8; implies --stopping ci)")
     experiment.add_argument(
         "--sink",
         help="record every trial durably into this JSONL run file "
@@ -417,6 +450,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--json", action="store_true",
                        help="print the drill result as JSON")
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="the durable experiment platform: submit, inspect, "
+             "execute, and diff queued experiment jobs",
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _target_arguments(
+        parser: argparse.ArgumentParser, server: bool = True
+    ) -> None:
+        parser.add_argument(
+            "--store", metavar="DIR",
+            help="platform directory (queue.jsonl + runs/) for "
+                 "direct local access",
+        )
+        if server:
+            parser.add_argument(
+                "--server", metavar="URL",
+                help="platform HTTP endpoint "
+                     "(a repro-roa serve --jobs address)",
+            )
+
+    submit = jobs_sub.add_parser(
+        "submit", help="enqueue an experiment job (flags as in "
+                       "repro-roa experiment)",
+    )
+    _target_arguments(submit)
+    _add_spec_arguments(submit)
+    submit.add_argument("--run", metavar="ID",
+                        help="results run id (default: the job id)")
+    submit.add_argument("--ases", type=int, default=400,
+                        help="synthetic topology size")
+    submit.add_argument("--topology-seed", type=int, default=11)
+    submit.add_argument("--workers", type=int,
+                        help="executor pool size")
+    submit.add_argument("--shards", type=int, metavar="N",
+                        help="sharded executor: shard count")
+
+    jobs_list = jobs_sub.add_parser("list", help="every job's status")
+    _target_arguments(jobs_list)
+    jobs_list.add_argument("--json", action="store_true",
+                           help="print the job list as JSON")
+
+    jobs_show = jobs_sub.add_parser("show", help="one job's state")
+    jobs_show.add_argument("job", help="job id (e.g. job-000001)")
+    _target_arguments(jobs_show)
+
+    jobs_cancel = jobs_sub.add_parser("cancel", help="cancel a job")
+    jobs_cancel.add_argument("job", help="job id")
+    _target_arguments(jobs_cancel)
+
+    jobs_diff = jobs_sub.add_parser(
+        "diff", help="deterministic run-to-run comparison of two "
+                     "recorded runs",
+    )
+    jobs_diff.add_argument("a", help="run id of the baseline side")
+    jobs_diff.add_argument("b", help="run id of the comparison side")
+    _target_arguments(jobs_diff)
+
+    jobs_run = jobs_sub.add_parser(
+        "run", help="execute every pending job of a --store in the "
+                    "foreground (also the crash-recovery path: "
+                    "mid-flight jobs resume their run files)",
+    )
+    _target_arguments(jobs_run, server=False)
     return parser
 
 
@@ -596,13 +695,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.compress:
         vrps = compress_vrps(vrps)
 
+    if args.jobs and not args.jobs_store:
+        print("--jobs requires --jobs-store", file=sys.stderr)
+        return 2
+
     runs = None
-    if args.results:
+    store = None
+    scheduler = None
+    if args.results or args.jobs:
         from .results import ResultsStore, RunRegistry
 
         runs = RunRegistry()
-        loaded = runs.load_store(ResultsStore(args.results))
-        print(f"results: {loaded} recorded runs from {args.results}")
+        if args.results:
+            store = ResultsStore(args.results)
+            loaded = runs.load_store(store)
+            print(f"results: {loaded} recorded runs from {args.results}")
+    if args.jobs:
+        from .faults import install_from_env
+        from .jobs import JobScheduler, JobStore
+
+        # Dispatched fault plans (repro-roa chaos; CI drills) apply to
+        # the scheduler's jobs.* sites too.
+        install_from_env()
+        job_store = JobStore(args.jobs_store)
+        scheduler = JobScheduler(job_store, runs=runs)
+        store = scheduler.results
+        loaded = runs.load_store(scheduler.results)
+        print(
+            f"jobs: {len(job_store.pending())} pending, "
+            f"{loaded} recorded runs in {args.jobs_store}"
+        )
 
     async def run() -> None:
         import json
@@ -621,20 +743,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await rtr.start()
         service = QueryService(vrps, metrics=metrics)
         service.serial = rtr.state.serial
-        http = QueryHttpServer(
-            service, host=args.http_host, port=args.http_port,
-            metrics=metrics, runs=runs,
-            max_clients=args.max_clients,
-            drain_timeout=(
-                args.drain_timeout if args.drain_timeout is not None
-                else 10.0
-            ))
+        drain_timeout = (
+            args.drain_timeout if args.drain_timeout is not None
+            else 10.0
+        )
+        if scheduler is not None:
+            from .jobs import JobsHttpServer
+
+            http = JobsHttpServer(
+                service, scheduler,
+                host=args.http_host, port=args.http_port,
+                metrics=metrics, max_clients=args.max_clients,
+                drain_timeout=drain_timeout)
+        else:
+            http = QueryHttpServer(
+                service, host=args.http_host, port=args.http_port,
+                metrics=metrics, runs=runs, store=store,
+                max_clients=args.max_clients,
+                drain_timeout=drain_timeout)
         await http.start()
+        if scheduler is not None:
+            scheduler.start()
         print(
             f"serving: rtr={rtr.host}:{rtr.port} "
             f"http={http.host}:{http.port} "
             f"serial={rtr.state.serial} vrps={len(vrps)} "
-            f"compress={'on' if args.compress else 'off'}; Ctrl-C to stop"
+            f"compress={'on' if args.compress else 'off'}"
+            f"{' jobs=on' if scheduler is not None else ''}; "
+            f"Ctrl-C to stop"
         )
         tasks = []
         if args.metrics_interval:
@@ -666,6 +802,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             await http.close()
             await rtr.close()
+            if scheduler is not None:
+                scheduler.stop()
         finally:
             for task in tasks:
                 task.cancel()
@@ -859,27 +997,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _result_to_json(result) -> dict:
-    return {
-        "fractions": list(result.fractions),
-        "trials_per_cell": result.trials_per_cell,
-        "trial_counts": list(result.trial_counts),
-        "cells": [
-            {
-                "cell": stats.cell,
-                "fraction": stats.fraction,
-                "trials": stats.trials,
-                "mean": stats.mean,
-                "stdev": stats.stdev,
-                "ci_low": stats.ci_low,
-                "ci_high": stats.ci_high,
-                "victim_mean": stats.victim_mean,
-                "disconnected_mean": stats.disconnected_mean,
-                "filtered_fraction": stats.filtered_fraction,
-            }
-            for row in result.stats
-            for stats in row
-        ],
-    }
+    from .results import result_to_json
+
+    return result_to_json(result)
 
 
 def _cmd_results(args: argparse.Namespace) -> int:
@@ -1204,6 +1324,164 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return _chaos_experiment(args, plan)
 
 
+def _job_spec_from_args(args: argparse.Namespace):
+    from .jobs import JobSpec
+
+    return JobSpec(
+        spec=_experiment_spec_from_args(args),
+        run=args.run,
+        ases=args.ases,
+        topology_seed=args.topology_seed,
+        workers=args.workers,
+        shards=args.shards,
+    )
+
+
+def _jobs_request(
+    server: str, method: str, path: str, body: Optional[dict] = None
+):
+    """One platform HTTP call; returns ``(status, response text)``."""
+    import json
+    from urllib import error, request
+
+    from .netbase.errors import ReproError
+
+    url = server.rstrip("/") + path
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    http_request = request.Request(url, data=data, method=method)
+    if data is not None:
+        http_request.add_header("Content-Type", "application/json")
+    try:
+        with request.urlopen(http_request, timeout=60) as response:
+            return response.status, response.read().decode("utf-8")
+    except error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+    except (error.URLError, OSError) as exc:
+        raise ReproError(f"{url}: {exc}")
+
+
+def _jobs_local(args: argparse.Namespace, store_dir: str) -> int:
+    import json
+
+    from .jobs import JobScheduler, JobStore
+
+    store = JobStore(store_dir)
+    command = args.jobs_command
+    if command == "submit":
+        job_id = JobScheduler(store).submit(_job_spec_from_args(args))
+        state = store.job(job_id)
+        print(f"{job_id} queued (run {state.spec.run})")
+        return 0
+    if command == "list":
+        summaries = [
+            state.summary()
+            for _, state in sorted(store.jobs().items())
+        ]
+        if args.json:
+            print(json.dumps({"jobs": summaries}, indent=2))
+        else:
+            for summary in summaries:
+                print(
+                    f"{summary['job']}  {summary['status']:<9}  "
+                    f"run={summary['run']}  "
+                    f"spec={summary['spec_hash'][:12]}"
+                )
+            if not summaries:
+                print("no jobs", file=sys.stderr)
+        return 0
+    if command == "show":
+        state = store.job(args.job)
+        if state is None:
+            print(f"no job named {args.job!r}", file=sys.stderr)
+            return 1
+        print(json.dumps(state.summary(), indent=2))
+        return 0
+    if command == "cancel":
+        state = JobScheduler(store).cancel(args.job)
+        print(f"{args.job} cancelled (was {state.status})")
+        return 0
+    if command == "diff":
+        from .results import run_diff_document
+
+        results = store.results_store()
+        a_header, a_records = results.read(args.a)
+        b_header, b_records = results.read(args.b)
+        document = run_diff_document(
+            args.a, a_header, a_records, args.b, b_header, b_records
+        )
+        # Canonical serialization: byte-identical to the serve tier's
+        # GET /diff of the same runs (a pinned determinism test).
+        print(json.dumps(document, sort_keys=True,
+                         separators=(",", ":")))
+        return 0
+    # "run": the foreground drain — also the crash-recovery path.
+    from .faults import install_from_env
+
+    install_from_env()
+    executed = JobScheduler(store).run_pending()
+    print(
+        f"executed {executed} job(s); "
+        f"{len(store.pending())} still pending",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _jobs_over_http(args: argparse.Namespace, server: str) -> int:
+    from urllib.parse import quote, urlencode
+
+    command = args.jobs_command
+    if command == "submit":
+        spec = _job_spec_from_args(args)
+        status, body = _jobs_request(
+            server, "POST", "/experiments", spec.to_json_dict()
+        )
+    elif command == "list":
+        status, body = _jobs_request(server, "GET", "/jobs")
+    elif command == "show":
+        status, body = _jobs_request(
+            server, "GET", f"/jobs/{quote(args.job)}"
+        )
+    elif command == "cancel":
+        status, body = _jobs_request(
+            server, "DELETE", f"/jobs/{quote(args.job)}"
+        )
+    else:  # diff
+        query = urlencode({"a": args.a, "b": args.b})
+        status, body = _jobs_request(server, "GET", f"/diff?{query}")
+    if status >= 400:
+        print(f"jobs {command} failed ({status}): {body}",
+              file=sys.stderr)
+        return 1
+    print(body)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from .netbase.errors import ReproError
+
+    command = args.jobs_command
+    store_dir = getattr(args, "store", None)
+    server = getattr(args, "server", None)
+    if store_dir and server:
+        print("choose one of --store or --server", file=sys.stderr)
+        return 2
+    if not store_dir and not server:
+        print(
+            f"jobs {command} needs --store DIR or --server URL",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if server:
+            return _jobs_over_http(args, server)
+        return _jobs_local(args, store_dir)
+    except (ReproError, OSError, ValueError) as exc:
+        # ValueError: malformed numbers in the grid flags.
+        print(f"jobs {command} failed: {exc}", file=sys.stderr)
+        return 1
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "minimal": _cmd_minimal,
@@ -1219,6 +1497,7 @@ _COMMANDS = {
     "results": _cmd_results,
     "shard-worker": _cmd_shard_worker,
     "chaos": _cmd_chaos,
+    "jobs": _cmd_jobs,
 }
 
 

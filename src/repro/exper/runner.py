@@ -352,6 +352,11 @@ class ExperimentRunner:
             immediately, preserving historical behaviour).
         shard_timeout: seconds without observable shard progress
             before the coordinator kills and reassigns it.
+        shard_progress: observation-only callback forwarded to
+            :class:`~repro.exper.sharded.ShardCoordinator` as
+            ``progress`` — receives per-shard state/record snapshots
+            (the serve tier points it at
+            :meth:`~repro.results.live.RunRegistry.update_shards`).
         sink: a :class:`~repro.results.sinks.ResultSink` that receives
             the run header and every released record as it streams —
             e.g. a :class:`~repro.results.sinks.JsonlSink` for a
@@ -394,6 +399,7 @@ class ExperimentRunner:
         shard_retries: int = 2,
         shard_retry=None,
         shard_timeout: float = 120.0,
+        shard_progress=None,
         sink: Optional[ResultSink] = None,
         resume_from: Optional[ResultSink] = None,
         registry: Optional[MetricsRegistry] = None,
@@ -418,6 +424,7 @@ class ExperimentRunner:
         self.shard_retries = shard_retries
         self.shard_retry = shard_retry
         self.shard_timeout = shard_timeout
+        self.shard_progress = shard_progress
         self.sink = sink
         self.resume_from = resume_from
         #: Metrics destination; ``None`` resolves the process-default
@@ -756,6 +763,7 @@ class ExperimentRunner:
             timeout=self.shard_timeout,
             finished=finished,
             registry=self.registry,
+            progress=self.shard_progress,
         )
         try:
             yield from coordinator.records()

@@ -647,6 +647,16 @@ class ShardCoordinator:
     re-queued but not redispatched before its deterministic
     backoff-with-jitter deadline, keyed on ``run_base`` and the shard
     index so schedules are reproducible run to run.
+
+    ``progress`` is an observation-only callback: whenever shard state
+    changes (dispatch, completion, retry, or growth of a running
+    shard's local run file) it receives ``{shard_index: {"state": ...,
+    "attempt": ..., "records": ...}}`` covering every shard of the
+    plan.  The serve tier points it at
+    :meth:`~repro.results.live.RunRegistry.update_shards` so
+    ``GET /experiments/<run>`` shows per-shard progress while a
+    sharded job runs.  It must not raise and cannot influence the
+    record stream.
     """
 
     def __init__(
@@ -665,6 +675,7 @@ class ShardCoordinator:
         poll_interval: float = 0.02,
         finished: frozenset = frozenset(),
         registry: Optional[MetricsRegistry] = None,
+        progress: Optional[Callable[[dict], None]] = None,
     ) -> None:
         if retries < 0:
             raise ReproError("retries must be non-negative")
@@ -689,6 +700,7 @@ class ShardCoordinator:
         self.poll_interval = poll_interval
         self.finished = finished
         self.registry = registry
+        self.progress = progress
         self.last_shared_segment: Optional[str] = None
 
     def records(self) -> Iterator[TrialRecord]:
@@ -738,15 +750,49 @@ class ShardCoordinator:
         completed: set[int] = set()
         tracer = trace.get_tracer()
         next_to_yield = 0
+        states = {shard.shard_index: "queued" for shard in plan}
+        shard_records = {shard.shard_index: 0 for shard in plan}
+        observed_sizes: dict[int, int] = {}
+
+        def publish() -> None:
+            if self.progress is None:
+                return
+            self.progress(
+                {
+                    index: {
+                        "state": states[index],
+                        "attempt": attempts[index],
+                        "records": shard_records[index],
+                    }
+                    for index in states
+                }
+            )
+
+        def observe_running(index: int) -> bool:
+            """Refresh a running shard's record count from its file."""
+            try:
+                size = os.path.getsize(paths[index])
+            except OSError:
+                return False
+            if observed_sizes.get(index) == size:
+                return False
+            observed_sizes[index] = size
+            with open(paths[index], "rb") as handle:
+                lines = handle.read().count(b"\n")
+            shard_records[index] = max(0, lines - 1)  # header line
+            return True
 
         def fail(index: int, reason: str) -> None:
             metrics.shards_failed.inc()
             attempts[index] += 1
             if not self.retry.allows(attempts[index]):
+                states[index] = "failed"
+                publish()
                 raise ReproError(
                     f"shard {index} failed after {attempts[index]} "
                     f"attempts: {reason}"
                 )
+            states[index] = "queued"
             metrics.shards_retried.inc()
             delay = self.retry.backoff(
                 attempts[index], token=f"{self.run_base}:{index}"
@@ -784,6 +830,7 @@ class ShardCoordinator:
                 )
                 started[index] = time.perf_counter()
                 inflight.add(index)
+                states[index] = "running"
                 metrics.shards_dispatched.inc()
                 metrics.inflight_shards.set(len(inflight))
                 tracer.instant(
@@ -817,6 +864,10 @@ class ShardCoordinator:
                 if status == "done":
                     transport.collect(plan[index], paths[index])
                     completed.add(index)
+                    states[index] = "done"
+                    if self.progress is not None:
+                        observed_sizes.pop(index, None)
+                        observe_running(index)
                     metrics.shards_completed.inc()
                     metrics.shard_latency.observe(
                         time.perf_counter() - started[index]
@@ -847,5 +898,11 @@ class ShardCoordinator:
                     yield record
                 next_to_yield += 1
                 progressed = True
+            if self.progress is not None:
+                counted = False
+                for index in sorted(inflight):
+                    counted = observe_running(index) or counted
+                if counted or progressed:
+                    publish()
             if not progressed and (inflight or pending):
                 time.sleep(self.poll_interval)

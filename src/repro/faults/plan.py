@@ -12,8 +12,13 @@ threaded through the serve and results tiers::
     serve.http.request    an HTTP request is about to be routed
     serve.shards.dispatch a shard dispatch is about to be scheduled
     serve.shards.execute  a shard is about to execute on a worker
+    serve.shards.request  a transport HTTP request is about to go out
     results.sink.write    a sink line is about to hit the file
     exper.shard.record    a shard worker just wrote one record
+    rtr.client.send       a router is about to write an RTR query
+    rtr.client.recv       a router is about to read from its cache
+    jobs.enqueue          a job is about to be appended to the queue
+    jobs.execute          a queued job is about to start executing
 
 Code at each site calls :func:`fire` (or :func:`fire_async` inside the
 serve tier's event loop) with keyword context (``shard=1``,
@@ -22,9 +27,10 @@ and a ``return`` — effectively free, which is what lets the hooks live
 on hot paths.  With a plan installed, every matching rule counts the
 hit, and a rule whose 1-based ordinal is scheduled *injects*: raises
 an :class:`OSError` (``EIO``/``ENOSPC``), raises
-:class:`ConnectionResetError`, stalls the caller, or SIGKILLs the
-process.  Every injection increments the ``faults.injected`` counter
-and is appended to the plan's ``fired`` log.
+:class:`ConnectionResetError`, stalls the caller, delays it by a
+deterministically jittered latency, or SIGKILLs the process.  Every
+injection increments the ``faults.injected`` counter and is appended
+to the plan's ``fired`` log.
 
 Determinism is the contract: a plan is pure data (JSON round trip via
 :meth:`FaultPlan.to_json`), :meth:`FaultPlan.generate` derives a plan
@@ -40,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import errno
+import hashlib
 import json
 import os
 import random
@@ -80,11 +87,16 @@ SITES = (
     "serve.http.request",
     "serve.shards.dispatch",
     "serve.shards.execute",
+    "serve.shards.request",
     "results.sink.write",
     "exper.shard.record",
+    "rtr.client.send",
+    "rtr.client.recv",
+    "jobs.enqueue",
+    "jobs.execute",
 )
 
-_ACTIONS = ("error", "reset", "stall", "crash")
+_ACTIONS = ("error", "reset", "stall", "delay", "crash")
 _ERRNOS = {"io": errno.EIO, "enospc": errno.ENOSPC}
 
 
@@ -96,7 +108,10 @@ class FaultRule:
     ``"error"`` (raise :class:`OSError` with the errno named by
     ``error`` — ``"io"`` or ``"enospc"``), ``"reset"`` (raise
     :class:`ConnectionResetError`), ``"stall"`` (sleep ``delay``
-    seconds, then continue), or ``"crash"`` (SIGKILL the process).
+    seconds verbatim, then continue), ``"delay"`` (sleep ``delay``
+    scaled by a deterministic per-hit jitter factor in [0.5, 1.5) —
+    latency spread for tail-latency studies, reproducible per plan),
+    or ``"crash"`` (SIGKILL the process).
     ``at`` holds 1-based ordinals over the rule's *matching* hits —
     ``at=(3,)`` injects on the third matching call.  ``match`` filters
     hits by context: every ``(key, value)`` pair must equal
@@ -135,6 +150,10 @@ class FaultRule:
             raise ReproError("fault ordinals in `at` are 1-based")
         if self.delay < 0:
             raise ReproError("fault delay must be non-negative")
+        if self.action == "delay" and self.delay <= 0:
+            raise ReproError(
+                "a delay fault needs a positive base delay to jitter"
+            )
 
     def matches(self, site: str, context: Mapping[str, object]) -> bool:
         """Does a hit at ``site`` with ``context`` count for this rule?"""
@@ -252,8 +271,8 @@ class FaultPlan:
         worker crashes and IO errors pinned to ``attempt=0`` (so
         retries recover and chaos equivalence holds); ``profile=
         "serve"`` targets ``serve.http.request`` with connection
-        resets, IO errors, and short stalls.  All randomness comes
-        from one injected ``random.Random(seed)``.
+        resets, IO errors, short stalls, and jittered delays.  All
+        randomness comes from one injected ``random.Random(seed)``.
         """
         rng = random.Random(seed)
         if profile == "sharded":
@@ -274,7 +293,7 @@ class FaultPlan:
             plan_rules = tuple(
                 FaultRule(
                     site="serve.http.request",
-                    action=rng.choice(("reset", "error", "stall")),
+                    action=rng.choice(("reset", "error", "stall", "delay")),
                     at=(rng.randrange(1, max_hit + 1),),
                     error=rng.choice(("io", "enospc")),
                     delay=round(rng.uniform(0.005, 0.02), 4),
@@ -298,6 +317,34 @@ class FaultPlan:
         logged).  Called by :func:`fire` — callers rarely need it
         directly.
         """
+        decision = self._decide(site, context)
+        return None if decision is None else decision[0]
+
+    def delay_for(self, rule: FaultRule, site: str, hit: int) -> float:
+        """The concrete sleep one injection of ``rule`` causes.
+
+        ``stall`` sleeps the rule's delay verbatim.  ``delay`` scales
+        it by a jitter factor in [0.5, 1.5) hashed from the plan seed,
+        the site, and the hit ordinal — so one plan always produces
+        the same latency *sequence* (no RNG, no global state), and
+        different hits of the same rule land at different points of
+        the spread, which is what a tail-latency study needs.
+        """
+        if rule.action != "delay":
+            return rule.delay
+        digest = hashlib.blake2b(
+            f"repro.faults.delay/{self.seed}/{site}/{hit}".encode(
+                "utf-8"
+            ),
+            digest_size=8,
+        ).digest()
+        factor = 0.5 + int.from_bytes(digest, "big") / 2.0 ** 64
+        return rule.delay * factor
+
+    def _decide(
+        self, site: str, context: Mapping[str, object]
+    ) -> Optional[Tuple[FaultRule, int]]:
+        """:meth:`decide`, plus the winning rule's hit ordinal."""
         chosen: Optional[Tuple[FaultRule, int]] = None
         with self._lock:
             for index, rule in enumerate(self.rules):
@@ -318,7 +365,7 @@ class FaultPlan:
                     for key, value in sorted(context.items())
                 },
             })
-        return rule
+        return rule, hit
 
 
 _INSTALLED: Optional[FaultPlan] = None
@@ -357,8 +404,8 @@ def install_from_env(
     return install(FaultPlan.from_json(value))
 
 
-def _execute(rule: FaultRule, site: str) -> float:
-    """Perform a scheduled injection; returns the stall delay (or 0)."""
+def _execute(plan: FaultPlan, rule: FaultRule, site: str, hit: int) -> float:
+    """Perform a scheduled injection; returns the sleep to apply (or 0)."""
     registry = get_registry()
     if registry.enabled:
         registry.view("faults").counter("injected").inc()
@@ -373,7 +420,7 @@ def _execute(rule: FaultRule, site: str) -> float:
         raise OSError(
             code, f"injected fault at {site}: {os.strerror(code)}"
         )
-    return rule.delay
+    return plan.delay_for(rule, site, hit)
 
 
 def fire(site: str, **context: object) -> None:
@@ -385,10 +432,11 @@ def fire(site: str, **context: object) -> None:
     plan = _INSTALLED
     if plan is None:
         return
-    rule = plan.decide(site, context)
-    if rule is None:
+    decision = plan._decide(site, context)
+    if decision is None:
         return
-    delay = _execute(rule, site)
+    rule, hit = decision
+    delay = _execute(plan, rule, site, hit)
     if delay > 0:
         time.sleep(delay)
 
@@ -399,9 +447,10 @@ async def fire_async(site: str, **context: object) -> None:
     plan = _INSTALLED
     if plan is None:
         return
-    rule = plan.decide(site, context)
-    if rule is None:
+    decision = plan._decide(site, context)
+    if decision is None:
         return
-    delay = _execute(rule, site)
+    rule, hit = decision
+    delay = _execute(plan, rule, site, hit)
     if delay > 0:
         await asyncio.sleep(delay)

@@ -1,0 +1,150 @@
+"""The experiment platform's HTTP control plane.
+
+:class:`JobsHttpServer` extends the serve tier's
+:class:`~repro.serve.http.QueryHttpServer` (it lives up here, not in
+``repro.serve``, because jobs sit *above* serve in the import
+layering) with the write side of the platform:
+
+* ``POST /experiments`` — enqueue a job: ``{"spec": {...}, "run":
+  ..., "ases": ..., "topology_seed": ..., "workers": ..., "shards":
+  ...}`` (only ``spec`` required) → 201 with the job and run ids.
+* ``GET /jobs`` — every job's folded state.
+* ``GET /jobs/<id>`` — one job.
+* ``DELETE /jobs/<id>`` — cancel (404 unknown, 409 already terminal).
+
+Everything read-only — ``/experiments``, ``/experiments/<run>/ci``,
+``/diff``, ``/validity``, ``/metrics`` — is inherited: the server is
+constructed around the scheduler's results store and run registry, so
+a submitted job shows up live on ``GET /experiments/<run>`` while it
+runs and on ``/ci`` and ``/diff`` the moment its bytes are durable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import unquote, urlsplit
+
+from ..netbase.errors import ReproError
+from ..serve.http import HttpRequestError, QueryHttpServer
+from ..serve.metrics import ServeMetrics
+from ..serve.query import QueryService
+from .model import JobSpec
+from .scheduler import JobScheduler
+
+__all__ = ["JobsHttpServer"]
+
+
+class JobsHttpServer(QueryHttpServer):
+    """The always-on platform front end: query serving + job control.
+
+    The attached :class:`~repro.jobs.scheduler.JobScheduler` supplies
+    the results store (for ``/ci`` and ``/diff``) and, unless given
+    explicitly, the run registry behind ``/experiments``.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        scheduler: JobScheduler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[ServeMetrics] = None,
+        max_clients: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        drain_timeout: Optional[float] = None,
+    ) -> None:
+        if scheduler.runs is None:
+            # Jobs submitted here should be watchable live; give the
+            # scheduler a registry if its creator did not.
+            from ..results.live import RunRegistry
+
+            scheduler.runs = RunRegistry()
+        super().__init__(
+            service,
+            host=host,
+            port=port,
+            metrics=metrics,
+            runs=scheduler.runs,
+            store=scheduler.results,
+            max_clients=max_clients,
+            idle_timeout=idle_timeout,
+            drain_timeout=drain_timeout,
+        )
+        self.scheduler = scheduler
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, object]:
+        url = urlsplit(path)
+        if url.path == "/experiments" and method == "POST":
+            return self._submit(body)
+        if url.path == "/jobs" or url.path.startswith("/jobs/"):
+            return self._jobs(method, url.path)
+        return await super()._route(method, path, body)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _submit(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        """``POST /experiments``: parse, enqueue, 201."""
+        try:
+            document = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise HttpRequestError(f"invalid JSON body: {exc}")
+        if not isinstance(document, dict) or "spec" not in document:
+            raise HttpRequestError(
+                'body must be {"spec": {...}, ...} '
+                "(an ExperimentSpec plus optional run/ases/"
+                "topology_seed/workers/shards)"
+            )
+        unknown = set(document) - {
+            "spec", "run", "ases", "topology_seed", "workers", "shards"
+        }
+        if unknown:
+            raise HttpRequestError(
+                f"unknown job fields {sorted(unknown)}"
+            )
+        try:
+            spec = JobSpec.from_json_dict(document)
+            job_id = self.scheduler.submit(spec)
+        except (ReproError, ValueError, TypeError) as exc:
+            raise HttpRequestError(f"bad job spec: {exc}")
+        state = self.scheduler.store.job(job_id)
+        return 201, {
+            "job": job_id,
+            "run": None if state is None else state.spec.run,
+            "status": "queued",
+        }
+
+    def _jobs(
+        self, method: str, path: str
+    ) -> Tuple[int, Dict[str, object]]:
+        """The ``/jobs`` family: list, show, cancel."""
+        if path == "/jobs":
+            if method != "GET":
+                return 405, {"error": f"{method} not allowed on /jobs"}
+            return 200, {
+                "jobs": [
+                    state.summary()
+                    for _, state in sorted(
+                        self.scheduler.store.jobs().items()
+                    )
+                ]
+            }
+        job_id = unquote(path[len("/jobs/"):])
+        state = self.scheduler.store.job(job_id)
+        if state is None:
+            return 404, {"error": f"no job named {job_id!r}"}
+        if method == "GET":
+            return 200, state.summary()
+        if method == "DELETE":
+            if not state.pending:
+                return 409, {
+                    "error": f"job {job_id} already {state.status}"
+                }
+            self.scheduler.cancel(job_id)
+            return 200, {"job": job_id, "status": "cancelled"}
+        return 405, {"error": f"{method} not allowed on {path}"}

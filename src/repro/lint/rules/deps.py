@@ -13,6 +13,7 @@
       rpki / bgp / data / rtr
       exper / results
       serve
+      jobs
       core / analysis / lint
       cli  (and the repro package root)
 
@@ -43,6 +44,7 @@ _LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("rpki", "bgp", "data", "rtr"),
     ("exper", "results"),
     ("serve",),
+    ("jobs",),
     ("core", "analysis", "lint"),
     ("cli", ""),  # "" is the repro package root (repro/__init__.py)
 )
@@ -181,7 +183,8 @@ class LayeringRule(Rule):
     summary = (
         "import layering: netbase/asn1/crypto/faults -> "
         "rpki/bgp/data/rtr -> "
-        "exper/results -> serve -> core/analysis/lint -> cli, with "
+        "exper/results -> serve -> jobs -> core/analysis/lint -> "
+        "cli, with "
         "repro.obs a leaf importable by all; no module-level import "
         "cycles"
     )

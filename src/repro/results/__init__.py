@@ -55,7 +55,15 @@ from .sinks import (
     read_run,
     topology_digest,
 )
-from .store import ResultsStore, merge_runs, run_result, shard_run_id
+from .store import (
+    ResultsStore,
+    merge_runs,
+    result_to_json,
+    run_ci_document,
+    run_diff_document,
+    run_result,
+    shard_run_id,
+)
 
 __all__ = [
     "CellAccumulator",
@@ -73,6 +81,9 @@ __all__ = [
     "check_header_compatible",
     "merge_runs",
     "read_run",
+    "result_to_json",
+    "run_ci_document",
+    "run_diff_document",
     "run_result",
     "shard_run_id",
     "topology_digest",

@@ -41,6 +41,7 @@ class _LiveRun:
         self.grid = GridAccumulator(self.spec)
         self.status = "running"
         self.trial_counts: Optional[tuple] = None
+        self.shards: Optional[dict] = None
 
     @property
     def expected_records(self) -> int:
@@ -66,6 +67,11 @@ class _LiveRun:
             else list(self.trial_counts)
         )
         snapshot["cells"] = self.grid.live_snapshot()
+        if self.shards is not None:
+            snapshot["shards"] = {
+                str(index): dict(state)
+                for index, state in sorted(self.shards.items())
+            }
         return snapshot
 
 
@@ -108,6 +114,25 @@ class RunRegistry:
             if run is not None:
                 run.status = "finished"
                 run.trial_counts = tuple(trial_counts)
+
+    def update_shards(self, run_id: str, shards: dict) -> None:
+        """Record a sharded run's per-shard progress snapshot.
+
+        ``shards`` maps shard index to a JSON-ready dict (state,
+        attempt, record count) as published by
+        :class:`~repro.exper.sharded.ShardCoordinator`'s ``progress``
+        hook.  Lenient on unknown run ids: the coordinator may publish
+        before the run's header reaches the registry (or for runs the
+        serve tier never registered), and progress reporting must
+        never fail an experiment.
+        """
+        with self._lock:
+            run = self._runs.get(run_id)
+            if run is not None:
+                run.shards = {
+                    int(index): dict(state)
+                    for index, state in shards.items()
+                }
 
     # -- loading archived runs -----------------------------------------
 

@@ -48,6 +48,9 @@ if TYPE_CHECKING:  # pragma: no cover — typing only (import-cycle care)
 __all__ = [
     "ResultsStore",
     "merge_runs",
+    "result_to_json",
+    "run_ci_document",
+    "run_diff_document",
     "run_result",
     "shard_run_id",
 ]
@@ -250,3 +253,170 @@ def run_result(
         expected_trials=counts[:live],
     )
     return result, len(records) - len(kept)
+
+
+def result_to_json(result: "ExperimentResult") -> dict:
+    """JSON-ready view of an aggregated grid.
+
+    The one canonical shape: ``repro-roa experiment --json``,
+    ``repro-roa results show --json``, and the serve tier's
+    ``/experiments/<run>/ci`` all emit exactly this, so a CI payload
+    can be compared against the CLI's output field for field.
+    """
+    return {
+        "fractions": list(result.fractions),
+        "trials_per_cell": result.trials_per_cell,
+        "trial_counts": list(result.trial_counts),
+        "cells": [
+            {
+                "cell": stats.cell,
+                "fraction": stats.fraction,
+                "trials": stats.trials,
+                "mean": stats.mean,
+                "stdev": stats.stdev,
+                "ci_low": stats.ci_low,
+                "ci_high": stats.ci_high,
+                "victim_mean": stats.victim_mean,
+                "disconnected_mean": stats.disconnected_mean,
+                "filtered_fraction": stats.filtered_fraction,
+            }
+            for row in result.stats
+            for stats in row
+        ],
+    }
+
+
+def _run_summary(
+    run_id: str, header: RunHeader, records: int, dropped: int
+) -> dict:
+    return {
+        "run": run_id,
+        "spec_hash": header.spec_hash,
+        "seed": header.seed,
+        "engine": header.engine,
+        "records": records,
+        "dropped": dropped,
+    }
+
+
+def run_ci_document(
+    run_id: str,
+    header: RunHeader,
+    records: Sequence["TrialRecord"],
+    *,
+    bootstrap_resamples: int = 1000,
+    confidence: float = 0.95,
+) -> dict:
+    """The ``/experiments/<run>/ci`` payload for one recorded run.
+
+    A pure function of the run's bytes: :func:`run_result` aggregates
+    the completed trial prefix (bootstrap CIs seeded by grid
+    coordinate, so they are deterministic), and the statistics land in
+    the :func:`result_to_json` shape under ``"result"``.  Serialized
+    with sorted keys and no whitespace, the same run file yields the
+    same payload bytes in any process.
+    """
+    result, dropped = run_result(
+        header,
+        records,
+        bootstrap_resamples=bootstrap_resamples,
+        confidence=confidence,
+    )
+    document = _run_summary(run_id, header, len(records), dropped)
+    document["bootstrap_resamples"] = bootstrap_resamples
+    document["confidence"] = confidence
+    document["result"] = result_to_json(result)
+    return document
+
+
+def _fraction_sort_key(fraction) -> tuple:
+    # None (universal deployment) sorts below every numeric fraction.
+    return (0, 0.0) if fraction is None else (1, fraction)
+
+
+def run_diff_document(
+    a_id: str,
+    a_header: RunHeader,
+    a_records: Sequence["TrialRecord"],
+    b_id: str,
+    b_header: RunHeader,
+    b_records: Sequence["TrialRecord"],
+    *,
+    bootstrap_resamples: int = 1000,
+    confidence: float = 0.95,
+) -> dict:
+    """The ``GET /diff?a=&b=`` payload: run-to-run comparison.
+
+    Both runs aggregate through :func:`run_result`; grid coordinates
+    are matched by (cell name, fraction) so one spec run under
+    different engines, policies, or seeds lines up cell for cell.
+    Coordinates present on only one side carry ``null`` for the other.
+    Where both sides report, ``delta_mean`` is ``b - a`` and
+    ``ci_overlap`` says whether the bootstrap intervals intersect —
+    the paper's loose-MaxLength vs minimal-ROA comparisons read
+    straight off it.  Cells are emitted in sorted (cell, fraction)
+    order, so the document is deterministic for given run bytes.
+    """
+    a_result, a_dropped = run_result(
+        a_header,
+        a_records,
+        bootstrap_resamples=bootstrap_resamples,
+        confidence=confidence,
+    )
+    b_result, b_dropped = run_result(
+        b_header,
+        b_records,
+        bootstrap_resamples=bootstrap_resamples,
+        confidence=confidence,
+    )
+
+    def side_cells(result: "ExperimentResult") -> dict:
+        return {
+            (stats.cell, stats.fraction): stats
+            for row in result.stats
+            for stats in row
+        }
+
+    def side_entry(stats) -> dict:
+        return {
+            "trials": stats.trials,
+            "mean": stats.mean,
+            "stdev": stats.stdev,
+            "ci_low": stats.ci_low,
+            "ci_high": stats.ci_high,
+            "victim_mean": stats.victim_mean,
+            "disconnected_mean": stats.disconnected_mean,
+            "filtered_fraction": stats.filtered_fraction,
+        }
+
+    a_cells = side_cells(a_result)
+    b_cells = side_cells(b_result)
+    cells = []
+    for key in sorted(
+        set(a_cells) | set(b_cells),
+        key=lambda k: (k[0], _fraction_sort_key(k[1])),
+    ):
+        cell, fraction = key
+        a_stats = a_cells.get(key)
+        b_stats = b_cells.get(key)
+        entry = {
+            "cell": cell,
+            "fraction": fraction,
+            "a": None if a_stats is None else side_entry(a_stats),
+            "b": None if b_stats is None else side_entry(b_stats),
+        }
+        if a_stats is not None and b_stats is not None:
+            entry["delta_mean"] = b_stats.mean - a_stats.mean
+            entry["ci_overlap"] = not (
+                a_stats.ci_high < b_stats.ci_low
+                or b_stats.ci_high < a_stats.ci_low
+            )
+        cells.append(entry)
+    return {
+        "a": _run_summary(a_id, a_header, len(a_records), a_dropped),
+        "b": _run_summary(b_id, b_header, len(b_records), b_dropped),
+        "spec_match": a_header.spec_hash == b_header.spec_hash,
+        "bootstrap_resamples": bootstrap_resamples,
+        "confidence": confidence,
+        "cells": cells,
+    }

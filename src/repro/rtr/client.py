@@ -11,6 +11,7 @@ from __future__ import annotations
 import socket
 from typing import Optional
 
+from ..faults import fire
 from ..netbase.errors import ReproError
 from ..rpki.vrp import Vrp
 from .pdu import (
@@ -154,6 +155,7 @@ class RtrClient:
     # ------------------------------------------------------------------
 
     def _send(self, pdu: Pdu) -> None:
+        fire("rtr.client.send", pdu=type(pdu).__name__)
         self._socket.sendall(encode_pdu(pdu))
 
     def _recv_pdu(self) -> Pdu:
@@ -161,6 +163,7 @@ class RtrClient:
             pdu = self._buffer.next()
             if pdu is not None:
                 return pdu
+            fire("rtr.client.recv")
             chunk = self._socket.recv(65536)
             if not chunk:
                 raise RtrClientError("cache closed the connection")

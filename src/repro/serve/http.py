@@ -17,7 +17,14 @@ Endpoints:
 * ``GET /experiments`` — live + archived experiment runs known to the
   attached :class:`~repro.results.live.RunRegistry` (summaries).
 * ``GET /experiments/<run>`` — one run's streaming per-cell stats,
-  updated record by record while the run executes.
+  updated record by record while the run executes (per-shard progress
+  included for sharded runs).
+* ``GET /experiments/<run>/ci`` — per-cell *bootstrap CIs* for a run
+  archived in the attached
+  :class:`~repro.results.store.ResultsStore`, exactly
+  :func:`~repro.results.store.run_ci_document` of the run's bytes.
+* ``GET /diff?a=<run>&b=<run>`` — deterministic run-to-run
+  comparison (:func:`~repro.results.store.run_diff_document`).
 * ``GET /healthz`` / ``GET /readyz`` — liveness and readiness (both
   flip to 503 while the server drains; see :class:`HttpServerBase`).
 
@@ -47,6 +54,7 @@ from .query import QueryService
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..results.live import RunRegistry
+    from ..results.store import ResultsStore
 
 __all__ = [
     "HttpRequestError",
@@ -85,6 +93,19 @@ class TextPayload:
 
 #: Content type Prometheus scrapers expect for the text exposition.
 _PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _UnknownRun(ReproError):
+    """A /diff side names a run the attached store does not hold."""
+
+
+def _canonical_json(document: dict) -> str:
+    """Sorted keys, no whitespace, newline-terminated: the same
+    document is the same bytes in every process — and the /ci and
+    /diff bodies are exactly ``repro-roa jobs diff`` stdout."""
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ) + "\n"
 
 
 async def read_http_request(
@@ -147,8 +168,9 @@ async def write_http_response(
     ``application/json``) or a :class:`TextPayload` (sent verbatim
     under its own content type).
     """
-    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-              405: "Method Not Allowed",
+    reason = {200: "OK", 201: "Created", 400: "Bad Request",
+              404: "Not Found", 405: "Method Not Allowed",
+              409: "Conflict",
               503: "Service Unavailable"}.get(status, "OK")
     if isinstance(payload, TextPayload):
         content_type = payload.content_type
@@ -380,7 +402,11 @@ class QueryHttpServer(HttpServerBase):
     ``runs`` is the :class:`~repro.results.live.RunRegistry` behind
     the ``/experiments`` endpoints; omit it and the server answers
     them from a fresh, empty registry (publish into ``server.runs``
-    to make runs appear).  Hardening knobs (``max_clients``,
+    to make runs appear).  ``store`` is the
+    :class:`~repro.results.store.ResultsStore` behind
+    ``/experiments/<run>/ci`` and ``/diff``; without one those
+    endpoints answer 404 (aggregation needs the run's durable bytes,
+    not just live statistics).  Hardening knobs (``max_clients``,
     ``idle_timeout``, ``drain_timeout``) come from
     :class:`HttpServerBase`.
     """
@@ -393,6 +419,7 @@ class QueryHttpServer(HttpServerBase):
         port: int = 0,
         metrics: Optional[ServeMetrics] = None,
         runs: Optional["RunRegistry"] = None,
+        store: Optional["ResultsStore"] = None,
         max_clients: Optional[int] = None,
         idle_timeout: Optional[float] = None,
         drain_timeout: Optional[float] = None,
@@ -413,6 +440,7 @@ class QueryHttpServer(HttpServerBase):
 
             runs = RunRegistry()
         self.runs = runs
+        self.store = store
 
     # ------------------------------------------------------------------
     # Routing
@@ -451,21 +479,101 @@ class QueryHttpServer(HttpServerBase):
                 return 405, {
                     "error": f"{method} not allowed on {url.path}"
                 }
-            return self._experiments(url.path)
+            return await self._experiments(url.path)
+        if url.path == "/diff":
+            if method != "GET":
+                return 405, {"error": f"{method} not allowed on /diff"}
+            return await self._diff(parse_qs(url.query))
         if url.path in ("/validity", "/metrics", "/status"):
             return 405, {"error": f"{method} not allowed on {url.path}"}
         return 404, {"error": f"no such endpoint {url.path}"}
 
-    def _experiments(self, path: str) -> Tuple[int, Dict[str, object]]:
+    async def _experiments(
+        self, path: str
+    ) -> Tuple[int, Dict[str, object]]:
         """The live-results endpoints, backed by the run registry."""
         self.metrics.increment("experiment_requests")
         if path == "/experiments":
             return 200, {"runs": self.runs.list_runs()}
-        run_id = unquote(path[len("/experiments/"):])
+        rest = path[len("/experiments/"):]
+        if rest.endswith("/ci"):
+            return await self._experiment_ci(unquote(rest[: -len("/ci")]))
+        run_id = unquote(rest)
         snapshot = self.runs.snapshot(run_id)
         if snapshot is None:
             return 404, {"error": f"no experiment run named {run_id!r}"}
         return 200, snapshot
+
+    async def _experiment_ci(self, run_id: str) -> Tuple[int, object]:
+        """``GET /experiments/<run>/ci``: bootstrap CIs of stored bytes."""
+        if self.store is None:
+            return 404, {
+                "error": "no results store attached; "
+                "/experiments/<run>/ci needs the run's durable bytes"
+            }
+
+        def build() -> str:
+            from ..results.store import run_ci_document
+
+            if not self.store.path(run_id).exists():
+                raise FileNotFoundError(run_id)
+            header, records = self.store.read(run_id)
+            return _canonical_json(
+                run_ci_document(run_id, header, records)
+            )
+
+        # Aggregation (bootstrap resampling) is pure CPU over immutable
+        # bytes: run it off-loop so RTR sessions keep being served.
+        try:
+            text = await asyncio.get_running_loop().run_in_executor(
+                None, build)
+        except FileNotFoundError:
+            return 404, {"error": f"no stored run named {run_id!r}"}
+        except (ReproError, OSError) as exc:
+            raise HttpRequestError(
+                f"cannot aggregate run {run_id!r}: {exc}")
+        return 200, TextPayload(text, "application/json")
+
+    async def _diff(
+        self, params: Dict[str, List[str]]
+    ) -> Tuple[int, object]:
+        """``GET /diff?a=&b=``: deterministic run-to-run comparison."""
+        self.metrics.increment("experiment_requests")
+        a_id = (params.get("a") or [None])[0]
+        b_id = (params.get("b") or [None])[0]
+        if not a_id or not b_id:
+            raise HttpRequestError(
+                "both 'a' and 'b' run ids are required")
+        if self.store is None:
+            return 404, {
+                "error": "no results store attached; "
+                "/diff needs the runs' durable bytes"
+            }
+
+        def build() -> str:
+            from ..results.store import run_diff_document
+
+            sides = []
+            for run_id in (a_id, b_id):
+                if not self.store.path(run_id).exists():
+                    raise _UnknownRun(
+                        f"no stored run named {run_id!r}")
+                sides.append(self.store.read(run_id))
+            (a_header, a_records), (b_header, b_records) = sides
+            return _canonical_json(run_diff_document(
+                a_id, a_header, a_records,
+                b_id, b_header, b_records,
+            ))
+
+        try:
+            text = await asyncio.get_running_loop().run_in_executor(
+                None, build)
+        except _UnknownRun as exc:
+            return 404, {"error": str(exc)}
+        except (ReproError, OSError) as exc:
+            raise HttpRequestError(
+                f"cannot diff {a_id!r} against {b_id!r}: {exc}")
+        return 200, TextPayload(text, "application/json")
 
     def _single_query(self, params: Dict[str, List[str]]) -> Dict[str, object]:
         asn, prefix = _parse_pair(

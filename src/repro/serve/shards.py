@@ -53,7 +53,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exper.sharded import FAULT_ENV, Shard, _parse_fault, run_shard
 from ..exper.spec import ExperimentSpec
-from ..faults import fire, install_from_env
+from ..faults import RetryPolicy, fire, install_from_env
 from ..netbase.errors import ReproError
 from ..results.sinks import JsonlSink, RunHeader, topology_digest
 from .http import HttpRequestError, HttpServerBase, TextPayload
@@ -451,6 +451,10 @@ class ThreadedShardWorkerServer:
         self.close()
 
 
+class _TransportUnreachable(ReproError):
+    """A worker request failed at the transport level (retryable)."""
+
+
 class _HttpJob:
     """Coordinator-side record of one dispatched remote shard."""
 
@@ -480,6 +484,14 @@ class HttpShardTransport:
     reported as a failed shard on the next ``poll`` rather than
     raised, feeding the same retry path.
 
+    Every HTTP round trip passes the ``serve.shards.request`` fault
+    site and retries transient failures under ``retry`` — the shared
+    :class:`~repro.faults.RetryPolicy` — before reporting the request
+    failed.  The default policy retries twice with a short jittered
+    backoff, so one dropped packet does not cost a whole shard
+    reassignment; dead hosts still surface quickly and feed the
+    coordinator's rotation.
+
     ``hosts`` are base URLs (``http://10.0.0.7:8293``) or bare
     ``host:port`` pairs.
     """
@@ -489,6 +501,7 @@ class HttpShardTransport:
         hosts: Sequence[str],
         *,
         request_timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if not hosts:
             raise ReproError(
@@ -496,6 +509,9 @@ class HttpShardTransport:
             )
         self.hosts: List[str] = [_normalize_host(h) for h in hosts]
         self.request_timeout = float(request_timeout)
+        self.retry = retry if retry is not None else RetryPolicy(
+            retries=2, base_delay=0.05, jitter=0.5
+        )
         self._jobs: Dict[int, _HttpJob] = {}
 
     def host_for(self, shard_index: int, attempt: int) -> str:
@@ -597,6 +613,38 @@ class HttpShardTransport:
     def _request_raw(
         self, method: str, url: str, body: Optional[bytes] = None
     ) -> bytes:
+        """One logical request: attempts paced by the retry policy.
+
+        An HTTP error status is the worker *answering* (refusing a bad
+        dispatch, say) — retrying would resend the same doomed request,
+        so only transport-level failures (unreachable host, dropped
+        connection, injected ``serve.shards.request`` faults) retry.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                fire(
+                    "serve.shards.request",
+                    method=method, url=url, attempt=attempt,
+                )
+                return self._request_once(method, url, body)
+            except _TransportUnreachable as exc:
+                if not self.retry.allows(attempt):
+                    raise ReproError(str(exc)) from None
+            except OSError as exc:
+                # Injected faults at the site surface here (reset and
+                # IO errors alike); treat them exactly like wire
+                # trouble.
+                if not self.retry.allows(attempt):
+                    raise ReproError(f"worker {url}: {exc}") from None
+            backoff = self.retry.backoff(attempt, token=url)
+            if backoff > 0:
+                time.sleep(backoff)
+
+    def _request_once(
+        self, method: str, url: str, body: Optional[bytes]
+    ) -> bytes:
         headers = (
             {"Content-Type": "application/json"}
             if body is not None else {}
@@ -619,7 +667,9 @@ class HttpShardTransport:
                 + (f": {detail}" if detail else "")
             )
         except (urllib.error.URLError, OSError) as exc:
-            raise ReproError(f"worker {url} unreachable: {exc}")
+            raise _TransportUnreachable(
+                f"worker {url} unreachable: {exc}"
+            )
 
 
 def _normalize_host(host: str) -> str:

@@ -35,6 +35,7 @@ RESULTS_DOC = DOCS / "results.md"
 OBSERVABILITY_DOC = DOCS / "observability.md"
 LINTING_DOC = DOCS / "linting.md"
 ROBUSTNESS_DOC = DOCS / "robustness.md"
+PLATFORM_DOC = DOCS / "platform.md"
 
 _FENCE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -282,12 +283,54 @@ class TestRobustnessDocExamples:
                 assert plan["rules"], "emitted fault plan has no rules"
 
 
+class TestPlatformDocExamples:
+    """docs/platform.md commands form one job-queue session (submit,
+    list, run, show, cancel, diff) sharing a working directory; the
+    final diff must print the canonical comparison document."""
+
+    def test_doc_has_commands_at_all(self):
+        assert _doc_commands(PLATFORM_DOC), (
+            "platform.md lost its repro-roa commands"
+        )
+
+    def test_commands_run_in_sequence(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (str(REPO / "src"), env.get("PYTHONPATH"))
+            if part
+        )
+        diff_output = None
+        for command, _ in _doc_commands(PLATFORM_DOC):
+            argv = shlex.split(command)
+            assert argv[0] == "repro-roa"
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.cli", *argv[1:]],
+                cwd=tmp_path,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert completed.returncode == 0, (
+                f"{command!r} exited {completed.returncode}:\n"
+                f"{completed.stderr}"
+            )
+            if argv[1:3] == ["jobs", "diff"]:
+                diff_output = completed.stdout
+        assert diff_output, "platform.md lost its jobs diff example"
+        document = json.loads(diff_output)
+        assert document["a"]["run"] == "job-000001"
+        assert document["b"]["run"] == "job-000002"
+        assert document["cells"], "diff document has no cells"
+
+
 class TestDocsTree:
     def test_pages_exist(self):
         for name in (
             "architecture.md", "experiments.md", "serving.md",
             "results.md", "observability.md", "linting.md",
-            "robustness.md",
+            "robustness.md", "platform.md",
         ):
             assert (DOCS / name).is_file(), f"docs/{name} missing"
         assert (REPO / "README.md").is_file()

@@ -464,3 +464,173 @@ class TestSinkFaults:
             got_header, records = read_run(path)
             assert got_header.spec_hash == header.spec_hash
             assert len(records) == written
+
+
+# ----------------------------------------------------------------------
+# The delay action: deterministic latency jitter
+# ----------------------------------------------------------------------
+
+
+class TestDelayFaults:
+    def test_delay_rule_requires_positive_base(self):
+        with pytest.raises(ReproError, match="positive"):
+            FaultRule(site="serve.http.request", action="delay")
+        FaultRule(site="serve.http.request", action="delay",
+                  delay=0.01)  # fine
+
+    def test_delay_for_is_deterministic_jitter(self):
+        rule = FaultRule(site="serve.http.request", action="delay",
+                         delay=0.01)
+        plan = FaultPlan(rules=(rule,), seed=5)
+        delays = [
+            plan.delay_for(rule, "serve.http.request", hit)
+            for hit in range(8)
+        ]
+        again = [
+            plan.delay_for(rule, "serve.http.request", hit)
+            for hit in range(8)
+        ]
+        assert delays == again
+        # Jitter scales the base into [0.5, 1.5) and varies per hit
+        # (a constant would be stall, not jitter).
+        assert all(0.005 <= value < 0.015 for value in delays)
+        assert len(set(delays)) > 1
+        other = FaultPlan(rules=(rule,), seed=6)
+        assert delays != [
+            other.delay_for(rule, "serve.http.request", hit)
+            for hit in range(8)
+        ]
+
+    def test_stall_stays_verbatim(self):
+        rule = FaultRule(site="serve.http.request", action="stall",
+                         delay=0.02)
+        plan = FaultPlan(rules=(rule,), seed=5)
+        assert plan.delay_for(rule, "serve.http.request", 3) == 0.02
+
+    def test_fire_sleeps_the_jittered_delay_then_continues(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            install(FaultPlan(rules=(
+                FaultRule(site="results.sink.write", action="delay",
+                          delay=0.001, at=(1, 2, 3)),
+            ), seed=1))
+            for _ in range(3):
+                fire("results.sink.write")  # delayed, never raises
+        assert registry.snapshot()["faults.injected"] == 3
+
+    def test_generated_serve_plans_include_delay(self):
+        actions = {
+            rule.action
+            for seed in range(12)
+            for rule in FaultPlan.generate(
+                seed, rules=6, profile="serve"
+            ).rules
+        }
+        assert "delay" in actions
+
+    def test_chaos_emit_plan_surfaces_delay_rules(self, capsys):
+        from repro.cli import main
+
+        for seed in range(12):
+            assert main([
+                "chaos", "--drill", "serve", "--seed", str(seed),
+                "--emit-plan",
+            ]) == 0
+        emitted = capsys.readouterr().out
+        assert '"action": "delay"' in emitted or '"delay"' in emitted
+        plans = [
+            FaultPlan.from_json(line)
+            for line in emitted.splitlines() if line.strip()
+        ]
+        assert any(
+            rule.action == "delay"
+            for plan in plans for rule in plan.rules
+        )
+
+
+# ----------------------------------------------------------------------
+# Client and transport fault sites (RTR client, HTTP shard transport)
+# ----------------------------------------------------------------------
+
+
+class TestClientAndTransportSites:
+    def test_rtr_client_sites_registered(self):
+        assert "rtr.client.send" in SITES
+        assert "rtr.client.recv" in SITES
+        assert "jobs.enqueue" in SITES
+        assert "jobs.execute" in SITES
+
+    def test_rtr_client_send_fault_injected(self):
+        from repro.rtr import RtrCacheServer, RtrClient
+
+        with RtrCacheServer([]) as server:
+            install(FaultPlan(rules=(
+                FaultRule(site="rtr.client.send", action="reset",
+                          at=(1,)),
+            )))
+            with pytest.raises(ConnectionResetError, match="injected"):
+                with RtrClient(server.host, server.port) as client:
+                    client.sync()
+            uninstall()
+            with RtrClient(server.host, server.port) as client:
+                client.sync()  # healthy again without the plan
+
+    def test_rtr_client_recv_fault_injected(self):
+        from repro.rtr import RtrCacheServer, RtrClient
+
+        with RtrCacheServer([]) as server:
+            install(FaultPlan(rules=(
+                FaultRule(site="rtr.client.recv", action="error",
+                          error="io", at=(1,)),
+            )))
+            with pytest.raises(OSError, match="injected"):
+                with RtrClient(server.host, server.port) as client:
+                    client.sync()
+
+    def test_transport_retries_transient_request_faults(
+        self, topology, tmp_path
+    ):
+        """A fault on the first HTTP round trip is absorbed by the
+        transport's RetryPolicy pacing: the run completes and stays
+        byte-identical to a fault-free serial recording."""
+        from repro.serve import (
+            HttpShardTransport,
+            ThreadedShardWorkerServer,
+        )
+
+        spec = small_spec(trials=4, fractions=(None,), seed=6)
+        _, serial_bytes = run_recorded(
+            topology, spec, tmp_path / "serial.jsonl",
+            executor="serial")
+        with ThreadedShardWorkerServer(topology) as worker:
+            transport = HttpShardTransport(
+                [f"127.0.0.1:{worker.port}"],
+                retry=RetryPolicy(retries=2, base_delay=0.01,
+                                  jitter=0.5),
+            )
+            install(FaultPlan(rules=(
+                FaultRule(site="serve.shards.request", action="error",
+                          error="io", at=(1, 4)),
+                FaultRule(site="serve.shards.request", action="reset",
+                          at=(2,)),
+            )))
+            _, faulted_bytes = run_recorded(
+                topology, spec, tmp_path / "faulted.jsonl",
+                executor="sharded", shards=2,
+                shard_transport=transport)
+        assert faulted_bytes == serial_bytes
+
+    def test_transport_gives_up_when_policy_exhausted(self, topology):
+        from repro.serve import HttpShardTransport
+
+        transport = HttpShardTransport(
+            ["127.0.0.1:9"],
+            retry=RetryPolicy(retries=1, base_delay=0.0),
+            request_timeout=0.5,
+        )
+        install(FaultPlan(rules=(
+            FaultRule(site="serve.shards.request", action="error",
+                      error="io"),
+        )))
+        with pytest.raises(ReproError, match="injected|worker"):
+            transport._request_raw("GET", "http://127.0.0.1:9/status")
